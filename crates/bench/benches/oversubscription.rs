@@ -1,0 +1,33 @@
+//! Ablation (extension): how fattree oversubscription degrades a heavy
+//! random workload — the exploration the paper explicitly set aside
+//! ("no over-subscription is applied to the fattrees under consideration").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exaflow::prelude::*;
+use std::hint::black_box;
+
+fn oversubscription_sweep(c: &mut Criterion) {
+    let w = WorkloadSpec::UnstructuredApp {
+        tasks: 256,
+        flows_per_task: 2,
+        bytes: 1 << 20,
+        seed: 5,
+    };
+    let mapping = TaskMapping::linear(256, 256);
+    let dag = w.generate(&mapping);
+    let mut group = c.benchmark_group("fattree_oversubscription");
+    for os in [1.0f64, 2.0, 4.0] {
+        let topo = KAryTree::with_oversubscription(8, 3, 256, 10e9, os);
+        group.bench_with_input(BenchmarkId::from_parameter(os), &os, |b, _| {
+            b.iter(|| black_box(Simulator::new(&topo).run(&dag).makespan_seconds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = oversubscription_sweep
+);
+criterion_main!(benches);

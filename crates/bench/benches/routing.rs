@@ -1,0 +1,68 @@
+//! Routing micro-benchmarks: cost of one route computation per topology
+//! family, plus the route-cache ablation (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exaflow::prelude::*;
+use exaflow::topo::ConnectionRule;
+use std::hint::black_box;
+
+fn route_each_family(c: &mut Criterion) {
+    let torus = Torus::new(&[16, 16, 8]);
+    let tree = KAryTree::new(13, 3);
+    let ghc = GeneralizedHypercube::new(&[8, 8, 4], 8);
+    let nest = Nested::new(UpperTierKind::Fattree, 256, 2, ConnectionRule::HalfNodes);
+    let topos: Vec<(&str, &dyn Topology)> =
+        vec![("torus", &torus), ("fattree", &tree), ("ghc", &ghc), ("nest_tree", &nest)];
+    let mut group = c.benchmark_group("route");
+    for (name, topo) in topos {
+        let n = topo.num_endpoints() as u32;
+        let mut path = Vec::with_capacity(64);
+        let mut i = 0u32;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i = i.wrapping_mul(1664525).wrapping_add(1013904223);
+                let s = i % n;
+                let d = (i >> 16) % n;
+                path.clear();
+                topo.route(NodeId(s), NodeId(d), &mut path);
+                black_box(path.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn route_cache_ablation(c: &mut Criterion) {
+    // Iterative stencil: the same (src, dst) pairs recur every round, which
+    // is exactly what the route cache is for.
+    let topo = Torus::new(&[8, 8, 8]);
+    let w = WorkloadSpec::NearNeighbors {
+        gx: 8,
+        gy: 8,
+        gz: 8,
+        bytes: 1 << 16,
+        iterations: 8,
+        periodic: true,
+    };
+    let dag = w.generate(&TaskMapping::linear(512, 512));
+    let mut group = c.benchmark_group("route_cache");
+    for (label, cached) in [("cached", true), ("uncached", false)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    cache_routes: cached,
+                    ..SimConfig::default()
+                };
+                black_box(Simulator::with_config(&topo, cfg).run(&dag).makespan_seconds)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = route_each_family, route_cache_ablation
+);
+criterion_main!(benches);

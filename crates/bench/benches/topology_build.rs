@@ -1,0 +1,50 @@
+//! Topology-construction throughput: how fast each generator can stamp out
+//! a few-thousand-endpoint network (relevant because every experiment in a
+//! sweep rebuilds its topology).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exaflow::prelude::*;
+use exaflow::topo::ConnectionRule;
+use std::hint::black_box;
+
+fn build_topologies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_2048");
+    group.bench_function("torus_16x16x8", |b| {
+        b.iter(|| black_box(Torus::new(&[16, 16, 8]).num_endpoints()))
+    });
+    group.bench_function("fattree_13ary_3tree", |b| {
+        b.iter(|| black_box(KAryTree::with_endpoints(13, 3, 2048).num_endpoints()))
+    });
+    group.bench_function("ghc_8x8x4_p8", |b| {
+        b.iter(|| black_box(GeneralizedHypercube::new(&[8, 8, 4], 8).num_endpoints()))
+    });
+    group.bench_function("nest_tree_t2_u2", |b| {
+        b.iter(|| {
+            black_box(
+                Nested::new(UpperTierKind::Fattree, 256, 2, ConnectionRule::HalfNodes)
+                    .num_endpoints(),
+            )
+        })
+    });
+    group.bench_function("nest_ghc_t2_u2", |b| {
+        b.iter(|| {
+            black_box(
+                Nested::new(
+                    UpperTierKind::GeneralizedHypercube,
+                    256,
+                    2,
+                    ConnectionRule::HalfNodes,
+                )
+                .num_endpoints(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = build_topologies
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Workload-generation throughput for the heaviest DAG builders.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exaflow::prelude::*;
+use std::hint::black_box;
+
+fn generate_workloads(c: &mut Criterion) {
+    let mapping = TaskMapping::linear(512, 512);
+    let specs = [
+        WorkloadSpec::AllReduce { tasks: 512, bytes: 1 },
+        WorkloadSpec::MapReduce {
+            tasks: 256,
+            distribute_bytes: 1,
+            shuffle_bytes: 1,
+            gather_bytes: 1,
+        },
+        WorkloadSpec::NearNeighbors {
+            gx: 8,
+            gy: 8,
+            gz: 8,
+            bytes: 1,
+            iterations: 4,
+            periodic: true,
+        },
+        WorkloadSpec::Bisection {
+            tasks: 512,
+            rounds: 8,
+            bytes: 1,
+            seed: 0,
+        },
+        WorkloadSpec::UnstructuredMgnt {
+            tasks: 512,
+            flows_per_task: 8,
+            seed: 0,
+        },
+    ];
+    let mut group = c.benchmark_group("workload_gen");
+    for spec in &specs {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| black_box(spec.generate(&mapping).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = generate_workloads
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Regenerates **Table 1**: average distance (uniform traffic) and diameter
+//! for NestGHC(t,u) and NestTree(t,u) across the paper's (t,u) grid, plus
+//! the fattree and torus reference values from the table caption.
+//!
+//! By default the analysis runs at the paper's full scale (131 072 QFDBs):
+//! topologies are built in memory and distances are measured from a sample
+//! of source endpoints against every destination (exact for small scales;
+//! see `exaflow-analysis`). Use `--scale` to change, `--json` to dump.
+
+use exaflow::prelude::*;
+use exaflow::presets;
+use exaflow_bench::HarnessArgs;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    t: u32,
+    u: u32,
+    avg_ghc: f64,
+    avg_tree: f64,
+    diam_ghc: u32,
+    diam_tree: u32,
+}
+
+fn main() {
+    let args = HarnessArgs::parse(131_072).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let scale = args.scale;
+    let samples = if args.quick { 16 } else { 96 };
+    eprintln!(
+        "Table 1 at {} QFDBs ({} sampled sources per topology)",
+        scale.qfdbs, samples
+    );
+
+    let mut rows = Vec::new();
+    for (t, u) in presets::hybrid_grid() {
+        if scale.subtori(t).is_err() {
+            eprintln!("skipping t={t}: scale not divisible");
+            continue;
+        }
+        let mut cell = Row {
+            t,
+            u,
+            avg_ghc: 0.0,
+            avg_tree: 0.0,
+            diam_ghc: 0,
+            diam_tree: 0,
+        };
+        for kind in [UpperTierKind::GeneralizedHypercube, UpperTierKind::Fattree] {
+            let topo = scale.nested_spec(kind, t, u).unwrap().build().unwrap();
+            // Always include the extreme endpoints: corners of the first and
+            // last subtorus are the usual diameter witnesses.
+            let last = NodeId(topo.num_endpoints() as u32 - 1);
+            let stats = distance_survey(topo.as_ref(), samples, 0xE1F, &[NodeId(0), last]);
+            match kind {
+                UpperTierKind::GeneralizedHypercube => {
+                    cell.avg_ghc = stats.average;
+                    cell.diam_ghc = stats.diameter;
+                }
+                UpperTierKind::Fattree => {
+                    cell.avg_tree = stats.average;
+                    cell.diam_tree = stats.diameter;
+                }
+            }
+        }
+        rows.push(cell);
+    }
+
+    println!("Table 1: average distance and diameter of the hybrid topologies");
+    println!(
+        "{:>7} | {:>12} {:>12} | {:>9} {:>9}",
+        "(t,u)", "avg NestGHC", "avg NestTree", "diam GHC", "diam Tree"
+    );
+    for r in &rows {
+        println!(
+            "({},{:>2})  | {:>12.2} {:>12.2} | {:>9} {:>9}",
+            r.t, r.u, r.avg_ghc, r.avg_tree, r.diam_ghc, r.diam_tree
+        );
+    }
+
+    // Reference rows from the table caption.
+    let tree_spec = scale.fattree_spec();
+    let tree = tree_spec.build().unwrap();
+    let tree_stats = distance_survey(
+        tree.as_ref(),
+        samples,
+        0xE1F,
+        &[NodeId(0), NodeId(tree.num_endpoints() as u32 - 1)],
+    );
+    let torus_dims = scale.torus_dims();
+    let torus_avg = exaflow::topo::torus::average_distance_for_dims(&torus_dims);
+    let torus_diam: u32 = torus_dims.iter().map(|&d| d / 2).sum();
+    println!("reference Fattree: avg {:.2}, diameter {}", tree_stats.average, tree_stats.diameter);
+    println!("reference Torus:   avg {:.2}, diameter {}", torus_avg, torus_diam);
+    println!(
+        "(paper at 131072 QFDBs: fattree avg 5.94 diam 6; torus avg 40 diam 80)"
+    );
+
+    args.dump_json(&rows);
+}

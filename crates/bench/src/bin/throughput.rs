@@ -1,0 +1,107 @@
+//! **Extension experiment**: aggregate-throughput comparison under random
+//! permutation traffic, including the Dragonfly and Jellyfish comparators
+//! the paper discusses only in related work.
+//!
+//! Each endpoint sends one fixed-size message to a random distinct partner
+//! (re-drawn per round, several rounds, serialised per sender); the figure
+//! of merit is the achieved per-endpoint goodput `total bytes / (makespan ·
+//! endpoints)` relative to the 10 Gbps NIC line rate.
+//!
+//! `--scale <qfdbs>` (default 512), `--json <path>`.
+
+use exaflow::prelude::*;
+use exaflow_bench::HarnessArgs;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    topology: String,
+    goodput_fraction: f64,
+    makespan_seconds: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse(512).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let n = args.scale.qfdbs;
+    let bytes: u64 = 1 << 20;
+    let rounds = 4u32;
+    let workload = WorkloadSpec::Bisection {
+        tasks: n as usize,
+        rounds,
+        bytes,
+        seed: 1234,
+    };
+
+    // Size the comparators to ~n endpoints.
+    let mut specs: Vec<TopologySpec> = vec![
+        args.scale.torus_spec(),
+        args.scale.fattree_spec(),
+        args.scale.nested_spec(UpperTierKind::Fattree, 2, 2).unwrap(),
+        args.scale
+            .nested_spec(UpperTierKind::GeneralizedHypercube, 2, 2)
+            .unwrap(),
+    ];
+    // Dragonfly: balanced with p chosen so 2p*p*(2p*p+1) >= ... pick p by scan.
+    let mut p = 1u32;
+    while (2 * (p + 1) as u64) * ((p + 1) as u64) * ((2 * (p + 1) as u64) * ((p + 1) as u64) + 1)
+        <= n
+    {
+        p += 1;
+    }
+    let a = 2 * p;
+    let h = p;
+    let groups = ((n / (a as u64 * p as u64)) as u32).clamp(2, a * h + 1);
+    specs.push(TopologySpec::Dragonfly { groups, a, p, h });
+    // Jellyfish: same switch degree budget as the torus (6 fabric ports),
+    // 4 endpoints per switch.
+    let eps_per_switch = 4u32;
+    let switches = (n / eps_per_switch as u64) as u32;
+    specs.push(TopologySpec::Jellyfish {
+        switches,
+        endpoint_ports: eps_per_switch,
+        fabric_degree: 6,
+        seed: 7,
+    });
+
+    println!("Aggregate throughput, random pairwise traffic ({n} QFDBs nominal)");
+    println!("{:<44} {:>10} {:>14}", "topology", "goodput", "makespan");
+    let mut rows = Vec::new();
+    for spec in specs {
+        let eps = spec.num_endpoints() as u64;
+        let tasks = (eps as usize / 2) * 2; // Bisection needs an even count
+        let workload = match &workload {
+            WorkloadSpec::Bisection { rounds, bytes, seed, .. } => WorkloadSpec::Bisection {
+                tasks,
+                rounds: *rounds,
+                bytes: *bytes,
+                seed: *seed,
+            },
+            _ => unreachable!(),
+        };
+        let res = run_experiment(&ExperimentConfig {
+            topology: spec,
+            workload,
+            mapping: MappingSpec::Linear,
+            sim: SimConfig::default(),
+            failures: None,
+        })
+        .expect("experiment");
+        let total_bits = tasks as f64 * rounds as f64 * bytes as f64 * 8.0;
+        let goodput = total_bits / res.makespan_seconds / (tasks as f64 * 10e9);
+        println!(
+            "{:<44} {:>9.1}% {:>11.3} ms",
+            res.topology,
+            goodput * 100.0,
+            res.makespan_seconds * 1e3
+        );
+        rows.push(Row {
+            topology: res.topology,
+            goodput_fraction: goodput,
+            makespan_seconds: res.makespan_seconds,
+        });
+    }
+    args.dump_json(&rows);
+}

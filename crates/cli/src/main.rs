@@ -1,0 +1,158 @@
+//! `exaflow` — command-line driver for the multi-tier interconnect study.
+//!
+//! ```text
+//! exaflow run <config.json>      run an experiment from a JSON config
+//! exaflow run -                  read the config from stdin
+//! exaflow topo <config.json>     build the topology and print its stats
+//! exaflow sample <name>          print a sample experiment config
+//! exaflow help                   this text
+//! ```
+//!
+//! An experiment config is the JSON form of `exaflow::ExperimentConfig`:
+//!
+//! ```json
+//! {
+//!   "topology": {"topology": "nested", "upper": "GeneralizedHypercube",
+//!                 "subtori": 64, "t": 2, "u": 4},
+//!   "workload": {"workload": "all_reduce", "tasks": 512, "bytes": 1048576}
+//! }
+//! ```
+
+use exaflow::prelude::*;
+use std::io::Read;
+
+const SAMPLES: &[(&str, &str)] = &[
+    (
+        "allreduce-nestghc",
+        r#"{
+  "topology": {"topology": "nested", "upper": "GeneralizedHypercube", "subtori": 64, "t": 2, "u": 4},
+  "workload": {"workload": "all_reduce", "tasks": 512, "bytes": 1048576}
+}"#,
+    ),
+    (
+        "sweep3d-torus",
+        r#"{
+  "topology": {"topology": "torus", "dims": [8, 8, 8]},
+  "workload": {"workload": "sweep3d", "gx": 8, "gy": 8, "gz": 8, "bytes": 262144}
+}"#,
+    ),
+    (
+        "mapreduce-fattree",
+        r#"{
+  "topology": {"topology": "fattree", "k": 8, "n": 3},
+  "workload": {"workload": "map_reduce", "tasks": 128, "distribute_bytes": 4194304,
+               "shuffle_bytes": 65536, "gather_bytes": 65536}
+}"#,
+    ),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(args.get(1).map(String::as_str)),
+        Some("topo") => cmd_topo(args.get(1).map(String::as_str)),
+        Some("sample") => cmd_sample(args.get(1).map(String::as_str)),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print_help();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'");
+            print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    eprintln!("usage:");
+    eprintln!("  exaflow run <config.json | ->   run an experiment, print the result as JSON");
+    eprintln!("  exaflow topo <config.json | ->  build the topology of a config, print stats");
+    eprintln!("  exaflow sample [name]           print a sample config (or list names)");
+}
+
+fn read_config(path: Option<&str>) -> Result<ExperimentConfig, String> {
+    let path = path.ok_or("missing config path (use '-' for stdin)")?;
+    let body = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("read stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
+    };
+    serde_json::from_str(&body).map_err(|e| format!("parse config: {e}"))
+}
+
+fn cmd_run(path: Option<&str>) -> i32 {
+    match read_config(path).and_then(|cfg| run_experiment(&cfg)) {
+        Ok(result) => {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_topo(path: Option<&str>) -> i32 {
+    let cfg = match read_config(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    match cfg.topology.build() {
+        Ok(topo) => {
+            let stats = exaflow::netgraph::NetworkStats::of(topo.network());
+            println!("{}", topo.name());
+            println!("{stats}");
+            let survey = distance_survey(
+                topo.as_ref(),
+                64,
+                7,
+                &[NodeId(0), NodeId(topo.num_endpoints() as u32 - 1)],
+            );
+            println!(
+                "distance: avg {:.2}, diameter {}{}",
+                survey.average,
+                survey.diameter,
+                if survey.exact { " (exact)" } else { " (sampled)" }
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_sample(name: Option<&str>) -> i32 {
+    match name {
+        None => {
+            for (n, _) in SAMPLES {
+                println!("{n}");
+            }
+            0
+        }
+        Some(n) => match SAMPLES.iter().find(|(k, _)| k == &n) {
+            Some((_, body)) => {
+                println!("{body}");
+                0
+            }
+            None => {
+                eprintln!("unknown sample '{n}'; available:");
+                for (k, _) in SAMPLES {
+                    eprintln!("  {k}");
+                }
+                1
+            }
+        },
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end tests of the `exaflow` command-line binary.
+
+use std::process::{Command, Stdio};
+
+fn exaflow() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_exaflow"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = exaflow().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("exaflow run"));
+}
+
+#[test]
+fn sample_lists_and_prints() {
+    let out = exaflow().arg("sample").output().unwrap();
+    assert!(out.status.success());
+    let list = String::from_utf8_lossy(&out.stdout);
+    assert!(list.contains("allreduce-nestghc"));
+    let out = exaflow().args(["sample", "sweep3d-torus"]).output().unwrap();
+    assert!(out.status.success());
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("\"topology\": \"torus\""));
+}
+
+#[test]
+fn unknown_sample_fails() {
+    let out = exaflow().args(["sample", "nope"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn run_from_stdin_outputs_json_result() {
+    use std::io::Write;
+    let mut child = exaflow()
+        .args(["run", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            br#"{"topology": {"topology": "torus", "dims": [4, 4]},
+                "workload": {"workload": "reduce", "tasks": 8, "bytes": 1024}}"#,
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let body: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON result");
+    assert_eq!(body["workload"], "Reduce");
+    assert_eq!(body["flows"], 7);
+    assert!(body["makespan_seconds"].as_f64().unwrap() > 0.0);
+}
+
+#[test]
+fn run_rejects_bad_config() {
+    use std::io::Write;
+    let mut child = exaflow()
+        .args(["run", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"{ nonsense").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn topo_reports_stats() {
+    use std::io::Write;
+    let mut child = exaflow()
+        .args(["topo", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            br#"{"topology": {"topology": "fattree", "k": 4, "n": 2},
+                "workload": {"workload": "reduce", "tasks": 8, "bytes": 1}}"#,
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("16 endpoints"));
+    assert!(body.contains("diameter 4"));
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = exaflow().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

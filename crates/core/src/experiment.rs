@@ -1,0 +1,222 @@
+//! Declarative experiments: topology × workload × mapping × engine config.
+
+use crate::topospec::TopologySpec;
+use exaflow_sim::{SimConfig, SimReport, Simulator};
+use exaflow_topo::{Degraded, Topology};
+use exaflow_workloads::{TaskMapping, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Task placement policy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "mapping", rename_all = "snake_case")]
+pub enum MappingSpec {
+    /// Task `i` → endpoint `i`.
+    Linear,
+    /// Task `i` → endpoint `i·stride`.
+    Strided { stride: usize },
+    /// Uniform random placement, collision-free.
+    Random { seed: u64 },
+}
+
+impl Default for MappingSpec {
+    fn default() -> Self {
+        MappingSpec::Linear
+    }
+}
+
+impl MappingSpec {
+    /// Materialise the mapping table.
+    pub fn build(&self, tasks: usize, endpoints: usize) -> TaskMapping {
+        match *self {
+            MappingSpec::Linear => TaskMapping::linear(tasks, endpoints),
+            MappingSpec::Strided { stride } => TaskMapping::strided(tasks, endpoints, stride),
+            MappingSpec::Random { seed } => TaskMapping::random(tasks, endpoints, seed),
+        }
+    }
+}
+
+/// A fully-specified experiment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// The network under test.
+    pub topology: TopologySpec,
+    /// The traffic.
+    pub workload: WorkloadSpec,
+    /// Task placement (default linear).
+    #[serde(default)]
+    pub mapping: MappingSpec,
+    /// Engine configuration (default: 10 Gbps NICs, exact batching).
+    #[serde(default = "default_sim_config")]
+    pub sim: SimConfig,
+    /// Optional link-failure injection (extension; see
+    /// `exaflow_topo::failures`): fail `count` random cables before running.
+    #[serde(default)]
+    pub failures: Option<FailureSpec>,
+}
+
+/// Random cable failures applied to the topology before simulation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    /// Number of duplex cables to fail.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+fn default_sim_config() -> SimConfig {
+    SimConfig::default()
+}
+
+/// The outcome of one experiment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Topology display name.
+    pub topology: String,
+    /// Workload name.
+    pub workload: String,
+    /// Completion time, seconds.
+    pub makespan_seconds: f64,
+    /// Flows simulated.
+    pub flows: u64,
+    /// Completion events processed.
+    pub events: u64,
+    /// Wall-clock seconds the simulation itself took.
+    pub wall_seconds: f64,
+}
+
+/// Build the topology, generate the workload, simulate, report.
+///
+/// Returns an error for inconsistent configurations (more tasks than
+/// endpoints, invalid topology parameters, …).
+pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, String> {
+    let built = cfg.topology.build()?;
+    let topo: Box<dyn Topology> = match cfg.failures {
+        Some(f) => Box::new(Degraded::with_random_failures(built, f.count, f.seed)),
+        None => built,
+    };
+    let tasks = cfg.workload.num_tasks();
+    if tasks > topo.num_endpoints() {
+        return Err(format!(
+            "workload has {tasks} tasks but topology {} has only {} endpoints",
+            topo.name(),
+            topo.num_endpoints()
+        ));
+    }
+    let mapping = cfg.mapping.build(tasks, topo.num_endpoints());
+    let dag = cfg.workload.generate(&mapping);
+    let started = std::time::Instant::now();
+    let report: SimReport = Simulator::with_config(&topo, cfg.sim.clone()).run(&dag);
+    Ok(ExperimentResult {
+        topology: topo.name(),
+        workload: cfg.workload.name().to_owned(),
+        makespan_seconds: report.makespan_seconds,
+        flows: report.flows,
+        events: report.events,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaflow_topo::UpperTierKind;
+
+    fn reduce_cfg(topology: TopologySpec) -> ExperimentConfig {
+        ExperimentConfig {
+            topology,
+            workload: WorkloadSpec::Reduce {
+                tasks: 16,
+                bytes: 1 << 20,
+            },
+            mapping: MappingSpec::Linear,
+            sim: SimConfig::default(),
+            failures: None,
+        }
+    }
+
+    #[test]
+    fn reduce_is_topology_insensitive() {
+        // The paper's observation: Reduce serialises at the root's
+        // consumption port, so all networks score (nearly) the same.
+        let topologies = [
+            TopologySpec::Torus { dims: vec![4, 2, 2] },
+            TopologySpec::Fattree { k: 4, n: 2, endpoints: None },
+            TopologySpec::Nested {
+                upper: UpperTierKind::GeneralizedHypercube,
+                subtori: 2,
+                t: 2,
+                u: 2,
+            },
+        ];
+        let times: Vec<f64> = topologies
+            .iter()
+            .map(|t| run_experiment(&reduce_cfg(t.clone())).unwrap().makespan_seconds)
+            .collect();
+        for w in times.windows(2) {
+            assert!((w[0] - w[1]).abs() / w[0] < 1e-6, "{times:?}");
+        }
+    }
+
+    #[test]
+    fn too_many_tasks_rejected() {
+        let cfg = ExperimentConfig {
+            topology: TopologySpec::Torus { dims: vec![2, 2] },
+            workload: WorkloadSpec::Reduce { tasks: 16, bytes: 1 },
+            mapping: MappingSpec::Linear,
+            sim: SimConfig::default(),
+            failures: None,
+        };
+        assert!(run_experiment(&cfg).is_err());
+    }
+
+    #[test]
+    fn mapping_specs_build() {
+        assert_eq!(MappingSpec::Linear.build(4, 8).node_of(3).0, 3);
+        assert_eq!(MappingSpec::Strided { stride: 2 }.build(4, 8).node_of(3).0, 6);
+        let r = MappingSpec::Random { seed: 1 }.build(4, 8);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn failures_slow_things_down_but_complete() {
+        let base = ExperimentConfig {
+            topology: TopologySpec::Torus { dims: vec![4, 4] },
+            workload: WorkloadSpec::UnstructuredApp {
+                tasks: 16,
+                flows_per_task: 4,
+                bytes: 1 << 20,
+                seed: 2,
+            },
+            mapping: MappingSpec::Linear,
+            sim: SimConfig::default(),
+            failures: None,
+        };
+        let healthy = run_experiment(&base).unwrap().makespan_seconds;
+        let mut broken = base.clone();
+        broken.failures = Some(FailureSpec { count: 6, seed: 3 });
+        let degraded = run_experiment(&broken).unwrap().makespan_seconds;
+        assert!(degraded >= healthy, "{degraded} < {healthy}");
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let cfg = reduce_cfg(TopologySpec::Torus { dims: vec![4, 4] });
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn default_fields_optional_in_json() {
+        let json = r#"{
+            "topology": {"topology": "torus", "dims": [4, 4]},
+            "workload": {"workload": "reduce", "tasks": 8, "bytes": 100}
+        }"#;
+        let cfg: ExperimentConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.mapping, MappingSpec::Linear);
+        assert_eq!(cfg.failures, None);
+        let res = run_experiment(&cfg).unwrap();
+        assert_eq!(res.workload, "Reduce");
+        assert_eq!(res.flows, 7);
+    }
+}

@@ -1,0 +1,81 @@
+//! # exaflow
+//!
+//! A from-scratch Rust reproduction of *"Design Exploration of Multi-tier
+//! Interconnection Networks for Exascale Systems"* (ICPP 2019): a
+//! flow-level network simulator, the paper's four topology families
+//! (torus, fattree, NestTree, NestGHC), its eleven application-inspired
+//! workloads, and the experiment harness that regenerates every table and
+//! figure.
+//!
+//! This facade crate ties the subsystem crates together:
+//!
+//! * [`exaflow_netgraph`] — graph substrate,
+//! * [`exaflow_topo`] — topologies and routing,
+//! * [`exaflow_sim`] — the fluid flow-level engine,
+//! * [`exaflow_workloads`] — workload generators,
+//! * [`exaflow_system`] — ExaNeSt packaging and cost model,
+//! * [`exaflow_analysis`] — distance statistics,
+//!
+//! and adds declarative experiment configuration ([`ExperimentConfig`]),
+//! execution ([`run_experiment`]), normalisation helpers and the paper's
+//! preset experiment grids ([`presets`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use exaflow::prelude::*;
+//!
+//! // A small NestGHC(t=2, u=4) system: 16 subtori of 2x2x2 QFDBs.
+//! let topo = TopologySpec::Nested {
+//!     upper: UpperTierKind::GeneralizedHypercube,
+//!     subtori: 16,
+//!     t: 2,
+//!     u: 4,
+//! }
+//! .build()
+//! .unwrap();
+//!
+//! // An 8-task AllReduce, tasks placed linearly.
+//! let workload = WorkloadSpec::AllReduce { tasks: 8, bytes: 1 << 20 };
+//! let mapping = TaskMapping::linear(8, topo.num_endpoints());
+//! let dag = workload.generate(&mapping);
+//!
+//! let report = Simulator::new(topo.as_ref()).run(&dag);
+//! assert!(report.makespan_seconds > 0.0);
+//! ```
+
+pub mod experiment;
+pub mod normalize;
+pub mod presets;
+pub mod scale;
+pub mod topospec;
+
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, MappingSpec};
+pub use normalize::{normalize_to, NormalizedRow};
+pub use scale::SystemScale;
+pub use topospec::TopologySpec;
+
+// Re-export the subsystem crates under their natural names.
+pub use exaflow_analysis as analysis;
+pub use exaflow_netgraph as netgraph;
+pub use exaflow_sim as sim;
+pub use exaflow_system as system;
+pub use exaflow_topo as topo;
+pub use exaflow_workloads as workloads;
+
+/// Everything a typical user needs.
+pub mod prelude {
+    pub use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, MappingSpec};
+    pub use crate::presets;
+    pub use crate::scale::SystemScale;
+    pub use crate::topospec::TopologySpec;
+    pub use exaflow_analysis::{channel_load_survey, distance_stats_exact, distance_survey, DistanceStats, LoadStats};
+    pub use exaflow_netgraph::{LinkId, Network, NodeId};
+    pub use exaflow_sim::{FlowDag, FlowDagBuilder, SimConfig, SimReport, Simulator};
+    pub use exaflow_system::{CostModel, SystemHierarchy};
+    pub use exaflow_topo::{
+        ConnectionRule, Degraded, Dragonfly, GeneralizedHypercube, Jellyfish, KAryTree, Nested,
+        Topology, Torus, UpperTierKind,
+    };
+    pub use exaflow_workloads::{TaskMapping, Workload, WorkloadSpec};
+}

@@ -1,0 +1,78 @@
+//! Normalisation of execution times against a baseline — the paper's
+//! Figures 4 and 5 plot *normalised* execution time (we normalise to the
+//! standalone fattree per workload; see DESIGN.md §5).
+
+use crate::experiment::ExperimentResult;
+use serde::{Deserialize, Serialize};
+
+/// A result expressed relative to a baseline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedRow {
+    /// Topology display name.
+    pub topology: String,
+    /// Workload name.
+    pub workload: String,
+    /// Execution time divided by the baseline's.
+    pub normalized_time: f64,
+    /// Raw execution time, seconds.
+    pub makespan_seconds: f64,
+}
+
+/// Normalise `results` by the makespan of the result whose topology name
+/// equals `baseline`. Returns an error if the baseline is absent or took
+/// zero time.
+pub fn normalize_to(
+    results: &[ExperimentResult],
+    baseline: &str,
+) -> Result<Vec<NormalizedRow>, String> {
+    let base = results
+        .iter()
+        .find(|r| r.topology == baseline)
+        .ok_or_else(|| format!("baseline '{baseline}' not among results"))?;
+    if base.makespan_seconds <= 0.0 {
+        return Err(format!("baseline '{baseline}' has zero makespan"));
+    }
+    Ok(results
+        .iter()
+        .map(|r| NormalizedRow {
+            topology: r.topology.clone(),
+            workload: r.workload.clone(),
+            normalized_time: r.makespan_seconds / base.makespan_seconds,
+            makespan_seconds: r.makespan_seconds,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(topology: &str, t: f64) -> ExperimentResult {
+        ExperimentResult {
+            topology: topology.into(),
+            workload: "W".into(),
+            makespan_seconds: t,
+            flows: 1,
+            events: 1,
+            wall_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn normalises_against_named_baseline() {
+        let rows = normalize_to(&[res("A", 2.0), res("B", 1.0), res("C", 4.0)], "B").unwrap();
+        assert_eq!(rows[0].normalized_time, 2.0);
+        assert_eq!(rows[1].normalized_time, 1.0);
+        assert_eq!(rows[2].normalized_time, 4.0);
+    }
+
+    #[test]
+    fn missing_baseline_errors() {
+        assert!(normalize_to(&[res("A", 1.0)], "Z").is_err());
+    }
+
+    #[test]
+    fn zero_baseline_errors() {
+        assert!(normalize_to(&[res("A", 0.0)], "A").is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! System-scale arithmetic: sizing topologies for a given QFDB count.
+//!
+//! The paper evaluates 131 072 QFDBs; this reproduction defaults to a
+//! smaller scale (see DESIGN.md §4) but keeps all sizing rules parametric.
+
+use crate::topospec::TopologySpec;
+use exaflow_topo::UpperTierKind;
+use serde::{Deserialize, Serialize};
+
+/// A system size in QFDBs, with helpers to derive comparable topologies.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemScale {
+    /// Total QFDBs.
+    pub qfdbs: u64,
+}
+
+impl SystemScale {
+    /// The paper's full evaluation scale.
+    pub const PAPER: SystemScale = SystemScale { qfdbs: 131_072 };
+
+    /// The reproduction's default simulation scale: the largest size whose
+    /// full figure sweep completes in minutes on one core (see DESIGN.md §4).
+    pub const DEFAULT_SIM: SystemScale = SystemScale { qfdbs: 2048 };
+
+    /// Create a scale. The QFDB count must be a power of two ≥ 64 so every
+    /// (t, u) hybrid configuration and the torus baseline tile evenly.
+    pub fn new(qfdbs: u64) -> Result<Self, String> {
+        if !qfdbs.is_power_of_two() || qfdbs < 64 {
+            return Err(format!("scale must be a power of two >= 64, got {qfdbs}"));
+        }
+        Ok(SystemScale { qfdbs })
+    }
+
+    /// Dimensions of the monolithic torus baseline: the near-cubic
+    /// power-of-two factorisation (e.g. 131072 → 64×64×32, 4096 → 16×16×16).
+    pub fn torus_dims(&self) -> [u32; 3] {
+        let log = self.qfdbs.trailing_zeros();
+        let a = log.div_ceil(3);
+        let b = (log - a).div_ceil(2);
+        let c = log - a - b;
+        [1u32 << a, 1 << b, 1 << c]
+    }
+
+    /// The torus baseline spec.
+    pub fn torus_spec(&self) -> TopologySpec {
+        TopologySpec::Torus {
+            dims: self.torus_dims().to_vec(),
+        }
+    }
+
+    /// The standalone fattree baseline: the smallest 3-stage k-ary tree
+    /// holding all QFDBs (exactly full at 4096 = 16³).
+    pub fn fattree_spec(&self) -> TopologySpec {
+        let k = exaflow_topo::KAryTree::arity_for_ports(self.qfdbs, 3);
+        TopologySpec::Fattree {
+            k,
+            n: 3,
+            endpoints: Some(self.qfdbs as usize),
+        }
+    }
+
+    /// Number of subtori for a given `t` (errors if `t³` does not divide).
+    pub fn subtori(&self, t: u32) -> Result<u64, String> {
+        let sub = (t as u64).pow(3);
+        if self.qfdbs % sub != 0 {
+            return Err(format!("{} QFDBs not divisible into {t}x{t}x{t} subtori", self.qfdbs));
+        }
+        Ok(self.qfdbs / sub)
+    }
+
+    /// The hybrid spec for `(upper, t, u)`.
+    pub fn nested_spec(&self, upper: UpperTierKind, t: u32, u: u32) -> Result<TopologySpec, String> {
+        Ok(TopologySpec::Nested {
+            upper,
+            subtori: self.subtori(t)?,
+            t,
+            u,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_torus_dims() {
+        assert_eq!(SystemScale::PAPER.torus_dims(), [64, 64, 32]);
+        assert_eq!(SystemScale::DEFAULT_SIM.torus_dims(), [16, 16, 8]);
+        assert_eq!(SystemScale::new(4096).unwrap().torus_dims(), [16, 16, 16]);
+        assert_eq!(SystemScale::new(512).unwrap().torus_dims(), [8, 8, 8]);
+        assert_eq!(SystemScale::new(1024).unwrap().torus_dims(), [16, 8, 8]);
+    }
+
+    #[test]
+    fn torus_dims_multiply_back() {
+        for q in [64u64, 128, 256, 512, 1024, 2048, 4096, 131_072] {
+            let s = SystemScale::new(q).unwrap();
+            let d = s.torus_dims();
+            assert_eq!(d.iter().map(|&x| x as u64).product::<u64>(), q, "{q}");
+            assert!(d[0] >= d[1] && d[1] >= d[2]);
+        }
+    }
+
+    #[test]
+    fn invalid_scales_rejected() {
+        assert!(SystemScale::new(100).is_err());
+        assert!(SystemScale::new(32).is_err());
+    }
+
+    #[test]
+    fn subtori_division() {
+        let s = SystemScale::new(4096).unwrap();
+        assert_eq!(s.subtori(2).unwrap(), 512);
+        assert_eq!(s.subtori(4).unwrap(), 64);
+        assert_eq!(s.subtori(8).unwrap(), 8);
+        assert_eq!(SystemScale::DEFAULT_SIM.subtori(8).unwrap(), 4);
+        assert!(SystemScale::new(128).unwrap().subtori(8).is_err());
+    }
+
+    #[test]
+    fn fattree_baseline_sizes() {
+        match SystemScale::new(4096).unwrap().fattree_spec() {
+            TopologySpec::Fattree { k, n, endpoints } => {
+                assert_eq!((k, n), (16, 3));
+                assert_eq!(endpoints, Some(4096));
+            }
+            _ => panic!(),
+        }
+        match SystemScale::DEFAULT_SIM.fattree_spec() {
+            TopologySpec::Fattree { k, n, endpoints } => {
+                assert_eq!((k, n), (13, 3));
+                assert_eq!(endpoints, Some(2048));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nested_specs_build() {
+        let s = SystemScale::new(64).unwrap();
+        for u in [1u32, 2, 4, 8] {
+            let spec = s.nested_spec(UpperTierKind::Fattree, 2, u).unwrap();
+            let topo = spec.build().unwrap();
+            assert_eq!(topo.num_endpoints(), 64);
+        }
+    }
+}

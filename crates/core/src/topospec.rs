@@ -1,0 +1,246 @@
+//! Declarative topology configuration.
+
+use exaflow_topo::{
+    ConnectionRule, Dragonfly, GeneralizedHypercube, Jellyfish, KAryTree, Nested, Topology,
+    Torus, UpperTierKind,
+};
+use serde::{Deserialize, Serialize};
+
+/// Every topology of the study, as tagged configuration data.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "topology", rename_all = "snake_case")]
+pub enum TopologySpec {
+    /// d-dimensional torus (the paper's `Torus3D` baseline when 3-D).
+    Torus { dims: Vec<u32> },
+    /// k-ary n-tree fattree, optionally partially populated.
+    Fattree {
+        k: u32,
+        n: u32,
+        #[serde(default)]
+        endpoints: Option<usize>,
+    },
+    /// Standalone generalised hypercube.
+    Ghc {
+        dims: Vec<u32>,
+        ports_per_router: u32,
+        #[serde(default)]
+        endpoints: Option<usize>,
+    },
+    /// NestTree / NestGHC hybrid: `subtori` subtori of `t³` QFDBs with one
+    /// uplink per `u` QFDBs.
+    Nested {
+        upper: UpperTierKind,
+        subtori: u64,
+        t: u32,
+        u: u32,
+    },
+    /// Dragonfly comparator (extension; see `exaflow_topo::dragonfly`).
+    Dragonfly { groups: u32, a: u32, p: u32, h: u32 },
+    /// Jellyfish comparator (extension; see `exaflow_topo::jellyfish`).
+    Jellyfish {
+        switches: u32,
+        endpoint_ports: u32,
+        fabric_degree: u32,
+        seed: u64,
+    },
+}
+
+impl TopologySpec {
+    /// Number of endpoints the built topology will have.
+    pub fn num_endpoints(&self) -> usize {
+        match self {
+            TopologySpec::Torus { dims } => dims.iter().map(|&d| d as usize).product(),
+            TopologySpec::Fattree { k, n, endpoints } => {
+                endpoints.unwrap_or((*k as usize).pow(*n))
+            }
+            TopologySpec::Ghc {
+                dims,
+                ports_per_router,
+                endpoints,
+            } => endpoints.unwrap_or_else(|| {
+                dims.iter().map(|&d| d as usize).product::<usize>() * *ports_per_router as usize
+            }),
+            TopologySpec::Nested { subtori, t, .. } => {
+                (*subtori as usize) * (*t as usize).pow(3)
+            }
+            TopologySpec::Dragonfly { groups, a, p, .. } => {
+                (*groups as usize) * (*a as usize) * (*p as usize)
+            }
+            TopologySpec::Jellyfish {
+                switches,
+                endpoint_ports,
+                ..
+            } => (*switches as usize) * (*endpoint_ports as usize),
+        }
+    }
+
+    /// Instantiate the topology.
+    pub fn build(&self) -> Result<Box<dyn Topology>, String> {
+        match self {
+            TopologySpec::Torus { dims } => {
+                if dims.is_empty() {
+                    return Err("torus needs at least one dimension".into());
+                }
+                Ok(Box::new(Torus::new(dims)))
+            }
+            TopologySpec::Fattree { k, n, endpoints } => {
+                let eps = endpoints.unwrap_or((*k as usize).pow(*n));
+                if *k < 2 || *n < 1 {
+                    return Err(format!("invalid fattree parameters k={k}, n={n}"));
+                }
+                Ok(Box::new(KAryTree::with_endpoints(*k, *n, eps)))
+            }
+            TopologySpec::Ghc {
+                dims,
+                ports_per_router,
+                endpoints,
+            } => {
+                if dims.is_empty() || *ports_per_router == 0 {
+                    return Err("invalid GHC parameters".into());
+                }
+                let routers: usize = dims.iter().map(|&d| d as usize).product();
+                let eps = endpoints.unwrap_or(routers * *ports_per_router as usize);
+                Ok(Box::new(GeneralizedHypercube::with_endpoints(
+                    dims,
+                    *ports_per_router,
+                    eps,
+                )))
+            }
+            TopologySpec::Nested {
+                upper,
+                subtori,
+                t,
+                u,
+            } => {
+                let rule = ConnectionRule::from_u(*u)
+                    .ok_or_else(|| format!("u must be 1, 2, 4 or 8, got {u}"))?;
+                if *t < 2 {
+                    return Err(format!("subtorus size t={t} must be >= 2"));
+                }
+                Ok(Box::new(Nested::new(*upper, *subtori, *t, rule)))
+            }
+            TopologySpec::Dragonfly { groups, a, p, h } => {
+                if *groups == 0 || *a == 0 || *p == 0 || *h == 0 {
+                    return Err("dragonfly parameters must be positive".into());
+                }
+                if *groups > *a * *h + 1 {
+                    return Err(format!(
+                        "{groups} groups exceed the {} a dragonfly with a={a}, h={h} supports",
+                        *a * *h + 1
+                    ));
+                }
+                Ok(Box::new(Dragonfly::new(*groups, *a, *p, *h)))
+            }
+            TopologySpec::Jellyfish {
+                switches,
+                endpoint_ports,
+                fabric_degree,
+                seed,
+            } => {
+                if *switches < 2
+                    || *endpoint_ports == 0
+                    || *fabric_degree == 0
+                    || *fabric_degree >= *switches
+                    || (*switches as u64 * *fabric_degree as u64) % 2 != 0
+                {
+                    return Err("invalid jellyfish parameters".into());
+                }
+                Ok(Box::new(Jellyfish::new(
+                    *switches,
+                    *endpoint_ports,
+                    *fabric_degree,
+                    *seed,
+                )))
+            }
+        }
+    }
+
+    /// The display name the built topology will report.
+    pub fn display_name(&self) -> String {
+        match self.build() {
+            Ok(t) => t.name(),
+            Err(e) => format!("<invalid: {e}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_variant() {
+        let specs = [
+            TopologySpec::Torus { dims: vec![4, 4, 2] },
+            TopologySpec::Fattree { k: 4, n: 2, endpoints: None },
+            TopologySpec::Ghc {
+                dims: vec![4, 4],
+                ports_per_router: 2,
+                endpoints: None,
+            },
+            TopologySpec::Nested {
+                upper: UpperTierKind::Fattree,
+                subtori: 4,
+                t: 2,
+                u: 4,
+            },
+            TopologySpec::Dragonfly { groups: 5, a: 2, p: 1, h: 2 },
+            TopologySpec::Jellyfish {
+                switches: 10,
+                endpoint_ports: 2,
+                fabric_degree: 3,
+                seed: 1,
+            },
+        ];
+        for s in &specs {
+            let topo = s.build().unwrap();
+            assert_eq!(topo.num_endpoints(), s.num_endpoints(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(TopologySpec::Torus { dims: vec![] }.build().is_err());
+        assert!(TopologySpec::Nested {
+            upper: UpperTierKind::Fattree,
+            subtori: 4,
+            t: 2,
+            u: 3,
+        }
+        .build()
+        .is_err());
+        assert!(TopologySpec::Nested {
+            upper: UpperTierKind::Fattree,
+            subtori: 4,
+            t: 1,
+            u: 1,
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = TopologySpec::Nested {
+            upper: UpperTierKind::GeneralizedHypercube,
+            subtori: 64,
+            t: 4,
+            u: 2,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"topology\":\"nested\""));
+        let back: TopologySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn partial_fattree_endpoint_count() {
+        let s = TopologySpec::Fattree {
+            k: 4,
+            n: 3,
+            endpoints: Some(40),
+        };
+        assert_eq!(s.num_endpoints(), 40);
+        assert_eq!(s.build().unwrap().num_endpoints(), 40);
+    }
+}

@@ -1,0 +1,231 @@
+//! Incremental construction of [`Network`]s.
+
+use crate::ids::{LinkId, NodeId};
+use crate::network::{Link, Network, NodeKind};
+
+/// Builder for [`Network`].
+///
+/// Endpoints must be added before any switch, because endpoints are required
+/// to occupy the contiguous id range `0..num_endpoints`. The builder enforces
+/// this with a panic, which turns a topology-generator bug into an immediate
+/// failure rather than a silently mis-indexed network.
+#[derive(Default, Debug)]
+pub struct NetworkBuilder {
+    kinds: Vec<NodeKind>,
+    links: Vec<Link>,
+    num_endpoints: usize,
+    switches_started: bool,
+}
+
+impl NetworkBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder with capacity reserved for `nodes` nodes and
+    /// `links` unidirectional links.
+    pub fn with_capacity(nodes: usize, links: usize) -> Self {
+        Self {
+            kinds: Vec::with_capacity(nodes),
+            links: Vec::with_capacity(links),
+            num_endpoints: 0,
+            switches_started: false,
+        }
+    }
+
+    /// Add a compute endpoint. Panics if a switch was already added.
+    pub fn add_endpoint(&mut self) -> NodeId {
+        assert!(
+            !self.switches_started,
+            "all endpoints must be added before the first switch"
+        );
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Endpoint);
+        self.num_endpoints += 1;
+        id
+    }
+
+    /// Add `n` endpoints, returning the id of the first.
+    pub fn add_endpoints(&mut self, n: usize) -> NodeId {
+        let first = NodeId(self.kinds.len() as u32);
+        for _ in 0..n {
+            self.add_endpoint();
+        }
+        first
+    }
+
+    /// Add a switch node.
+    pub fn add_switch(&mut self) -> NodeId {
+        self.switches_started = true;
+        let id = NodeId(self.kinds.len() as u32);
+        self.kinds.push(NodeKind::Switch);
+        id
+    }
+
+    /// Add `n` switches, returning the id of the first.
+    pub fn add_switches(&mut self, n: usize) -> NodeId {
+        let first = NodeId(self.kinds.len() as u32);
+        for _ in 0..n {
+            self.add_switch();
+        }
+        first
+    }
+
+    /// Add a unidirectional physical link.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, capacity_bps: f64) -> LinkId {
+        self.push_link(src, dst, capacity_bps, false)
+    }
+
+    /// Add a unidirectional virtual (NIC) link. Virtual links share bandwidth
+    /// but are excluded from hop counts.
+    pub fn add_virtual_link(&mut self, src: NodeId, dst: NodeId, capacity_bps: f64) -> LinkId {
+        self.push_link(src, dst, capacity_bps, true)
+    }
+
+    /// Add a bidirectional physical cable as two opposite links.
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId, capacity_bps: f64) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, capacity_bps);
+        let ba = self.add_link(b, a, capacity_bps);
+        (ab, ba)
+    }
+
+    fn push_link(&mut self, src: NodeId, dst: NodeId, capacity_bps: f64, is_virtual: bool) -> LinkId {
+        assert!(src.index() < self.kinds.len(), "link src {src} out of range");
+        assert!(dst.index() < self.kinds.len(), "link dst {dst} out of range");
+        assert!(src != dst, "self-loop links are not allowed ({src})");
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "link capacity must be positive and finite, got {capacity_bps}"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            src,
+            dst,
+            capacity_bps,
+            is_virtual,
+        });
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of links added so far.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Finalise into an immutable [`Network`], building CSR adjacency.
+    ///
+    /// Link ids are preserved exactly as returned during construction; only
+    /// the adjacency index is derived here.
+    pub fn build(self) -> Network {
+        let n = self.kinds.len();
+        // Counting sort of link ids by source node; groups then sorted by
+        // destination so `find_link` can binary-search.
+        let mut counts = vec![0u32; n + 1];
+        for l in &self.links {
+            counts[l.src.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let out_offsets = counts.clone();
+        let mut out_links = vec![LinkId(0); self.links.len()];
+        let mut cursor = counts;
+        for (i, l) in self.links.iter().enumerate() {
+            let pos = cursor[l.src.index()] as usize;
+            out_links[pos] = LinkId(i as u32);
+            cursor[l.src.index()] += 1;
+        }
+        for node in 0..n {
+            let lo = out_offsets[node] as usize;
+            let hi = out_offsets[node + 1] as usize;
+            out_links[lo..hi].sort_by_key(|&lid| (self.links[lid.index()].dst, lid));
+        }
+        Network {
+            kinds: self.kinds,
+            links: self.links,
+            num_endpoints: self.num_endpoints,
+            out_offsets,
+            out_links,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "before the first switch")]
+    fn endpoint_after_switch_panics() {
+        let mut b = NetworkBuilder::new();
+        b.add_switch();
+        b.add_endpoint();
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut b = NetworkBuilder::new();
+        let e = b.add_endpoint();
+        b.add_link(e, e, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let mut b = NetworkBuilder::new();
+        let e0 = b.add_endpoint();
+        let e1 = b.add_endpoint();
+        b.add_link(e0, e1, 0.0);
+    }
+
+    #[test]
+    fn bulk_add_returns_first_id() {
+        let mut b = NetworkBuilder::new();
+        let first_ep = b.add_endpoints(4);
+        assert_eq!(first_ep, NodeId(0));
+        let first_sw = b.add_switches(3);
+        assert_eq!(first_sw, NodeId(4));
+        assert_eq!(b.num_nodes(), 7);
+    }
+
+    #[test]
+    fn link_ids_stable_through_build() {
+        let mut b = NetworkBuilder::new();
+        let e0 = b.add_endpoint();
+        let e1 = b.add_endpoint();
+        let e2 = b.add_endpoint();
+        let l0 = b.add_link(e2, e0, 5.0);
+        let l1 = b.add_link(e0, e1, 7.0);
+        let net = b.build();
+        assert_eq!(net.link(l0).src, e2);
+        assert_eq!(net.link(l0).capacity_bps, 5.0);
+        assert_eq!(net.link(l1).dst, e1);
+    }
+
+    #[test]
+    fn duplex_adds_opposite_pair() {
+        let mut b = NetworkBuilder::new();
+        let e0 = b.add_endpoint();
+        let e1 = b.add_endpoint();
+        let (ab, ba) = b.add_duplex(e0, e1, 3.0);
+        let net = b.build();
+        assert_eq!(net.link(ab).src, e0);
+        assert_eq!(net.link(ab).dst, e1);
+        assert_eq!(net.link(ba).src, e1);
+        assert_eq!(net.link(ba).dst, e0);
+    }
+
+    #[test]
+    fn empty_network_builds() {
+        let net = NetworkBuilder::new().build();
+        assert_eq!(net.num_nodes(), 0);
+        assert_eq!(net.num_links(), 0);
+    }
+}

@@ -1,0 +1,704 @@
+//! The simulation engine: activation, rate allocation, batched completions,
+//! optional per-hop latency and per-link accounting.
+
+use crate::dag::{FlowDag, FlowId};
+use crate::maxmin::MaxMinSolver;
+use crate::report::SimReport;
+use exaflow_netgraph::NodeId;
+use exaflow_topo::Topology;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Engine configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Endpoint injection (NIC transmit) capacity, bits/second.
+    pub injection_bps: f64,
+    /// Endpoint ejection (NIC receive / consumption port) capacity,
+    /// bits/second. This is the resource that serialises an N-to-1 Reduce.
+    pub ejection_bps: f64,
+    /// Relative completion-batching tolerance: all flows finishing within
+    /// `(1 + epsilon)` of the earliest completion time retire in one event.
+    /// The default `1e-9` only merges numerically-identical completions and
+    /// is exact for all practical purposes; larger values trade accuracy
+    /// for fewer rate recomputations (see the engine ablation bench).
+    pub batch_epsilon: f64,
+    /// Head latency added before a flow starts transferring:
+    /// `startup_latency_s + hops · per_hop_latency_s`. Zero by default —
+    /// the pure fluid model, appropriate for the paper's MB-scale
+    /// transfers where wire time dominates switch latency by 10³.
+    #[serde(default)]
+    pub per_hop_latency_s: f64,
+    /// Fixed protocol/software overhead per flow, seconds.
+    #[serde(default)]
+    pub startup_latency_s: f64,
+    /// Record per-flow completion times in the report.
+    pub record_flow_times: bool,
+    /// Accumulate bytes carried per resource (links, then injection, then
+    /// ejection ports) in the report. Costs one pass over active paths per
+    /// event.
+    #[serde(default)]
+    pub collect_link_stats: bool,
+    /// Memoise routes per (src, dst) pair. Pays off for iterative workloads
+    /// that reuse pairs across rounds; capped to bound memory.
+    pub cache_routes: bool,
+    /// Maximum number of cached routes.
+    pub route_cache_cap: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            injection_bps: exaflow_topo::LINK_RATE_BPS,
+            ejection_bps: exaflow_topo::LINK_RATE_BPS,
+            batch_epsilon: 1e-9,
+            per_hop_latency_s: 0.0,
+            startup_latency_s: 0.0,
+            record_flow_times: false,
+            collect_link_stats: false,
+            cache_routes: true,
+            route_cache_cap: 1 << 21,
+        }
+    }
+}
+
+/// Total-ordered f64 key for the delayed-activation heap (times are always
+/// finite and non-NaN by construction).
+#[derive(PartialEq, PartialOrd)]
+struct Time(f64);
+impl Eq for Time {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("times are not NaN")
+    }
+}
+
+/// Flow-level simulator bound to a topology.
+pub struct Simulator<'a> {
+    topo: &'a dyn Topology,
+    cfg: SimConfig,
+    num_links: usize,
+    num_eps: usize,
+}
+
+impl<'a> Simulator<'a> {
+    /// Create a simulator with the default configuration.
+    pub fn new(topo: &'a dyn Topology) -> Self {
+        Self::with_config(topo, SimConfig::default())
+    }
+
+    /// Create a simulator with a custom configuration.
+    pub fn with_config(topo: &'a dyn Topology, cfg: SimConfig) -> Self {
+        Simulator {
+            num_links: topo.network().num_links(),
+            num_eps: topo.num_endpoints(),
+            topo,
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Resource id of an endpoint's injection port.
+    #[inline]
+    pub fn injection_resource(&self, ep: u32) -> u32 {
+        (self.num_links + ep as usize) as u32
+    }
+
+    /// Resource id of an endpoint's ejection port.
+    #[inline]
+    pub fn ejection_resource(&self, ep: u32) -> u32 {
+        (self.num_links + self.num_eps + ep as usize) as u32
+    }
+
+    fn resource_capacities(&self) -> Vec<f64> {
+        let net = self.topo.network();
+        let mut caps = Vec::with_capacity(self.num_links + 2 * self.num_eps);
+        caps.extend(net.links().iter().map(|l| l.capacity_bps));
+        caps.extend(std::iter::repeat_n(self.cfg.injection_bps, self.num_eps));
+        caps.extend(std::iter::repeat_n(self.cfg.ejection_bps, self.num_eps));
+        caps
+    }
+
+    /// Simulate `dag` to completion and return the report.
+    ///
+    /// Panics if the DAG references endpoints outside the topology.
+    pub fn run(&self, dag: &FlowDag) -> SimReport {
+        if let Some(max_ep) = dag.max_endpoint() {
+            assert!(
+                (max_ep as usize) < self.num_eps,
+                "DAG references endpoint {max_ep} but topology has {}",
+                self.num_eps
+            );
+        }
+        let n = dag.len();
+        let (succ_offsets, succs) = dag.successors();
+
+        let mut solver = MaxMinSolver::new(self.resource_capacities());
+        let mut route_cache: HashMap<(u32, u32), Box<[u32]>> = HashMap::new();
+
+        // Per-flow state.
+        let mut remaining: Vec<f64> = dag.flows().iter().map(|f| f.bytes as f64 * 8.0).collect();
+        let mut indeg: Vec<u32> = vec![0; n];
+        for f in 0..n {
+            indeg[f] = dag.preds(FlowId(f as u32)).len() as u32;
+        }
+        let mut completion_times = if self.cfg.record_flow_times {
+            vec![f64::NAN; n]
+        } else {
+            Vec::new()
+        };
+        let mut resource_bytes = if self.cfg.collect_link_stats {
+            vec![0.0f64; self.num_links + 2 * self.num_eps]
+        } else {
+            Vec::new()
+        };
+
+        // Active set: parallel vectors of flow id and path (resource list).
+        let mut active_ids: Vec<u32> = Vec::new();
+        let mut active_paths: Vec<Box<[u32]>> = Vec::new();
+        let mut rates: Vec<f64> = Vec::new();
+        // Flows waiting out their head latency.
+        let mut delayed: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+        let mut delayed_paths: HashMap<u32, Box<[u32]>> = HashMap::new();
+
+        let mut now = 0.0f64;
+        let mut completed = 0usize;
+        let mut events = 0u64;
+        let mut path_scratch: Vec<exaflow_netgraph::LinkId> = Vec::new();
+        let latency_model = self.cfg.per_hop_latency_s > 0.0 || self.cfg.startup_latency_s > 0.0;
+
+        let mut ready: Vec<u32> = (0..n as u32).filter(|&f| indeg[f as usize] == 0).collect();
+
+        // Activation: instantly retire degenerate flows (zero bytes or
+        // self-traffic) cascading; queue real flows into the active set or,
+        // under the latency model, into the delayed heap.
+        macro_rules! activate_ready {
+            () => {
+                while let Some(f) = ready.pop() {
+                    let spec = dag.flow(FlowId(f));
+                    if spec.bytes == 0 || spec.src == spec.dst {
+                        remaining[f as usize] = 0.0;
+                        if self.cfg.record_flow_times {
+                            completion_times[f as usize] = now;
+                        }
+                        completed += 1;
+                        let lo = succ_offsets[f as usize] as usize;
+                        let hi = succ_offsets[f as usize + 1] as usize;
+                        for &s in &succs[lo..hi] {
+                            indeg[s as usize] -= 1;
+                            if indeg[s as usize] == 0 {
+                                ready.push(s);
+                            }
+                        }
+                        continue;
+                    }
+                    let path: Box<[u32]> = if self.cfg.cache_routes {
+                        if let Some(p) = route_cache.get(&(spec.src, spec.dst)) {
+                            p.clone()
+                        } else {
+                            let p = self.build_path(spec.src, spec.dst, &mut path_scratch);
+                            if route_cache.len() < self.cfg.route_cache_cap {
+                                route_cache.insert((spec.src, spec.dst), p.clone());
+                            }
+                            p
+                        }
+                    } else {
+                        self.build_path(spec.src, spec.dst, &mut path_scratch)
+                    };
+                    if latency_model {
+                        // Physical hops = path minus the two NIC resources.
+                        let hops = path.len().saturating_sub(2) as f64;
+                        let at = now
+                            + self.cfg.startup_latency_s
+                            + hops * self.cfg.per_hop_latency_s;
+                        delayed.push(Reverse((Time(at), f)));
+                        delayed_paths.insert(f, path);
+                    } else {
+                        active_ids.push(f);
+                        active_paths.push(path);
+                    }
+                }
+            };
+        }
+
+        activate_ready!();
+
+        loop {
+            if active_ids.is_empty() {
+                // Nothing transferring: jump to the next delayed activation.
+                match delayed.pop() {
+                    None => break,
+                    Some(Reverse((Time(t), f))) => {
+                        now = now.max(t);
+                        active_ids.push(f);
+                        active_paths.push(delayed_paths.remove(&f).expect("delayed path"));
+                        while let Some(Reverse((Time(t2), _))) = delayed.peek() {
+                            if *t2 <= now {
+                                let Reverse((_, f2)) = delayed.pop().unwrap();
+                                active_ids.push(f2);
+                                active_paths.push(delayed_paths.remove(&f2).unwrap());
+                            } else {
+                                break;
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+
+            events += 1;
+            rates.resize(active_ids.len(), 0.0);
+            solver.solve(&active_paths, &mut rates);
+
+            // Earliest completion among active flows.
+            let mut dt = f64::INFINITY;
+            for (i, &f) in active_ids.iter().enumerate() {
+                let t = remaining[f as usize] / rates[i];
+                if t < dt {
+                    dt = t;
+                }
+            }
+            assert!(
+                dt.is_finite(),
+                "deadlock: active flows with zero rate at t={now}"
+            );
+
+            // A delayed activation may precede the earliest completion.
+            if let Some(Reverse((Time(t_act), _))) = delayed.peek() {
+                if *t_act < now + dt {
+                    let step = *t_act - now;
+                    self.advance(
+                        step,
+                        &active_ids,
+                        &active_paths,
+                        &rates,
+                        &mut remaining,
+                        &mut resource_bytes,
+                    );
+                    now = *t_act;
+                    while let Some(Reverse((Time(t2), _))) = delayed.peek() {
+                        if *t2 <= now {
+                            let Reverse((_, f2)) = delayed.pop().unwrap();
+                            active_ids.push(f2);
+                            active_paths.push(delayed_paths.remove(&f2).unwrap());
+                        } else {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+            }
+
+            let cutoff = dt * (1.0 + self.cfg.batch_epsilon);
+            // Identify the completion batch *before* advancing, then advance.
+            let mut done_flags = vec![false; active_ids.len()];
+            for (i, &f) in active_ids.iter().enumerate() {
+                done_flags[i] = remaining[f as usize] / rates[i] <= cutoff;
+            }
+            self.advance(
+                dt,
+                &active_ids,
+                &active_paths,
+                &rates,
+                &mut remaining,
+                &mut resource_bytes,
+            );
+            now += dt;
+
+            // Retire the completion batch (swap-remove).
+            let mut i = 0;
+            while i < active_ids.len() {
+                if done_flags[i] {
+                    let f = active_ids[i] as usize;
+                    remaining[f] = 0.0;
+                    if self.cfg.record_flow_times {
+                        completion_times[f] = now;
+                    }
+                    completed += 1;
+                    let lo = succ_offsets[f] as usize;
+                    let hi = succ_offsets[f + 1] as usize;
+                    for &s in &succs[lo..hi] {
+                        indeg[s as usize] -= 1;
+                        if indeg[s as usize] == 0 {
+                            ready.push(s);
+                        }
+                    }
+                    active_ids.swap_remove(i);
+                    active_paths.swap_remove(i);
+                    rates.swap_remove(i);
+                    done_flags.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+
+            activate_ready!();
+        }
+
+        assert_eq!(
+            completed, n,
+            "simulation ended with {completed} of {n} flows incomplete (cyclic deps?)"
+        );
+
+        SimReport {
+            makespan_seconds: now,
+            flows: n as u64,
+            events,
+            maxmin_iterations: solver.iterations,
+            completion_times: if self.cfg.record_flow_times {
+                Some(completion_times)
+            } else {
+                None
+            },
+            resource_bytes: if self.cfg.collect_link_stats {
+                Some(resource_bytes)
+            } else {
+                None
+            },
+            num_links: self.num_links as u64,
+            num_endpoints: self.num_eps as u64,
+        }
+    }
+
+    /// Advance every active flow by `dt` seconds, accounting bytes when
+    /// link statistics are enabled.
+    fn advance(
+        &self,
+        dt: f64,
+        active_ids: &[u32],
+        active_paths: &[Box<[u32]>],
+        rates: &[f64],
+        remaining: &mut [f64],
+        resource_bytes: &mut [f64],
+    ) {
+        if dt <= 0.0 {
+            return;
+        }
+        for (i, &f) in active_ids.iter().enumerate() {
+            remaining[f as usize] -= rates[i] * dt;
+            if self.cfg.collect_link_stats {
+                let bytes = rates[i] * dt / 8.0;
+                for &r in active_paths[i].iter() {
+                    resource_bytes[r as usize] += bytes;
+                }
+            }
+        }
+    }
+
+    /// Materialise the resource path of a flow: injection resource, physical
+    /// route links, ejection resource.
+    fn build_path(
+        &self,
+        src: u32,
+        dst: u32,
+        scratch: &mut Vec<exaflow_netgraph::LinkId>,
+    ) -> Box<[u32]> {
+        scratch.clear();
+        self.topo.route(NodeId(src), NodeId(dst), scratch);
+        let mut path = Vec::with_capacity(scratch.len() + 2);
+        path.push(self.injection_resource(src));
+        path.extend(scratch.iter().map(|l| l.0));
+        path.push(self.ejection_resource(dst));
+        path.into_boxed_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::FlowDagBuilder;
+    use exaflow_topo::{KAryTree, Torus};
+
+    const GBPS: f64 = 1e9;
+
+    fn mb(n: u64) -> u64 {
+        n * 1_000_000
+    }
+
+    /// Time to push `bytes` through `bps`.
+    fn xfer(bytes: u64, bps: f64) -> f64 {
+        bytes as f64 * 8.0 / bps
+    }
+
+    #[test]
+    fn single_flow_wire_time() {
+        let topo = Torus::new(&[4]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let r = sim.run(&b.build());
+        assert!((r.makespan_seconds - xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12);
+        assert_eq!(r.flows, 1);
+        assert_eq!(r.events, 1);
+    }
+
+    #[test]
+    fn two_flows_same_link_halve() {
+        let topo = Torus::new(&[8]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let r = sim.run(&b.build());
+        assert!((r.makespan_seconds - 2.0 * xfer(mb(1), 10.0 * GBPS)).abs() < 1e-9);
+        assert_eq!(r.events, 1);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_share() {
+        let topo = Torus::new(&[8]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        b.add_flow(NodeId(1), NodeId(0), mb(1), &[]);
+        let r = sim.run(&b.build());
+        assert!((r.makespan_seconds - xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependency_chain_serialises() {
+        let topo = Torus::new(&[8]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        let a = b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let c = b.add_flow(NodeId(1), NodeId(2), mb(1), &[a]);
+        b.add_flow(NodeId(2), NodeId(3), mb(1), &[c]);
+        let r = sim.run(&b.build());
+        assert!((r.makespan_seconds - 3.0 * xfer(mb(1), 10.0 * GBPS)).abs() < 1e-9);
+        assert_eq!(r.events, 3);
+    }
+
+    #[test]
+    fn reduce_bottlenecked_by_ejection_port() {
+        // The paper's explanation of the Reduce collective: all flows
+        // serialise at the root's consumption port regardless of topology.
+        let torus = Torus::new(&[4, 4]);
+        let tree = KAryTree::new(4, 2);
+        for topo in [&torus as &dyn Topology, &tree as &dyn Topology] {
+            let sim = Simulator::new(topo);
+            let mut b = FlowDagBuilder::new();
+            for s in 1..16u32 {
+                b.add_flow(NodeId(s), NodeId(0), mb(1), &[]);
+            }
+            let r = sim.run(&b.build());
+            let expect = xfer(mb(15), 10.0 * GBPS);
+            assert!(
+                (r.makespan_seconds - expect).abs() / expect < 1e-6,
+                "{}: {} vs {expect}",
+                topo.name(),
+                r.makespan_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn zero_byte_flows_instant() {
+        let topo = Torus::new(&[4]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        let a = b.add_flow(NodeId(0), NodeId(1), 0, &[]);
+        let c = b.add_barrier(&[a]);
+        b.add_flow(NodeId(2), NodeId(2), mb(5), &[c]); // self traffic: instant
+        let r = sim.run(&b.build());
+        assert_eq!(r.makespan_seconds, 0.0);
+        assert_eq!(r.events, 0);
+    }
+
+    #[test]
+    fn empty_dag_runs() {
+        let topo = Torus::new(&[4]);
+        let sim = Simulator::new(&topo);
+        let r = sim.run(&FlowDagBuilder::new().build());
+        assert_eq!(r.makespan_seconds, 0.0);
+        assert_eq!(r.flows, 0);
+    }
+
+    #[test]
+    fn completion_times_recorded() {
+        let topo = Torus::new(&[8]);
+        let cfg = SimConfig {
+            record_flow_times: true,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        let a = b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let c = b.add_flow(NodeId(1), NodeId(2), mb(2), &[a]);
+        let r = sim.run(&b.build());
+        let times = r.completion_times.as_ref().unwrap();
+        let step = xfer(mb(1), 10.0 * GBPS);
+        assert!((times[a.index()] - step).abs() < 1e-12);
+        assert!((times[c.index()] - 3.0 * step).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_beats_naive_serialisation() {
+        let topo = Torus::new(&[8]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        for i in 0..4u32 {
+            b.add_flow(NodeId(2 * i), NodeId(2 * i + 1), mb(1), &[]);
+        }
+        let r = sim.run(&b.build());
+        assert!((r.makespan_seconds - xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "references endpoint")]
+    fn out_of_range_endpoint_panics() {
+        let topo = Torus::new(&[4]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(99), 1, &[]);
+        sim.run(&b.build());
+    }
+
+    #[test]
+    fn route_cache_does_not_change_results() {
+        let topo = Torus::new(&[4, 4]);
+        let mut dagb = FlowDagBuilder::new();
+        let mut prev: Vec<crate::FlowId> = vec![];
+        for _round in 0..3 {
+            let mut cur = vec![];
+            for i in 0..8u32 {
+                let deps: Vec<_> = prev.clone();
+                cur.push(dagb.add_flow(NodeId(i), NodeId((i + 5) % 16), mb(1), &deps));
+            }
+            prev = cur;
+        }
+        let dag = dagb.build();
+        let run = |cache: bool| {
+            let cfg = SimConfig {
+                cache_routes: cache,
+                ..SimConfig::default()
+            };
+            Simulator::with_config(&topo, cfg).run(&dag).makespan_seconds
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn larger_batch_epsilon_reduces_events() {
+        let topo = Torus::new(&[16]);
+        let mut b = FlowDagBuilder::new();
+        for i in 0..8u32 {
+            b.add_flow(NodeId(i), NodeId(i + 8), mb(100) + i as u64, &[]);
+        }
+        let dag = b.build();
+        let run = |eps: f64| {
+            let cfg = SimConfig {
+                batch_epsilon: eps,
+                ..SimConfig::default()
+            };
+            Simulator::with_config(&topo, cfg).run(&dag).events
+        };
+        assert!(run(1e-3) < run(1e-12));
+    }
+
+    #[test]
+    fn per_hop_latency_adds_head_time() {
+        let topo = Torus::new(&[8]);
+        let cfg = SimConfig {
+            per_hop_latency_s: 1e-6,
+            startup_latency_s: 5e-6,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        // 0 -> 2 is two hops.
+        b.add_flow(NodeId(0), NodeId(2), mb(1), &[]);
+        let r = sim.run(&b.build());
+        let expect = 5e-6 + 2.0 * 1e-6 + xfer(mb(1), 10.0 * GBPS);
+        assert!(
+            (r.makespan_seconds - expect).abs() < 1e-12,
+            "{} vs {expect}",
+            r.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn latency_staggers_contending_flows() {
+        // Two flows share the destination but start at different times due
+        // to different path lengths; both must still finish correctly.
+        let topo = Torus::new(&[8]);
+        let cfg = SimConfig {
+            per_hop_latency_s: 1e-3, // exaggerated: comparable to wire time
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]); // 1 hop: starts at 1ms
+        b.add_flow(NodeId(7), NodeId(1), mb(1), &[]); // 2 hops: starts at 2ms
+        let r = sim.run(&b.build());
+        assert!(r.makespan_seconds > 2e-3);
+        assert!(r.makespan_seconds < 4.5e-3);
+        assert_eq!(r.flows, 2);
+    }
+
+    #[test]
+    fn latency_respects_dependencies() {
+        let topo = Torus::new(&[8]);
+        let cfg = SimConfig {
+            startup_latency_s: 1e-3,
+            record_flow_times: true,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        let a = b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let c = b.add_flow(NodeId(1), NodeId(2), mb(1), &[a]);
+        let r = sim.run(&b.build());
+        let times = r.completion_times.unwrap();
+        let step = 1e-3 + xfer(mb(1), 10.0 * GBPS);
+        assert!((times[a.index()] - step).abs() < 1e-9);
+        assert!((times[c.index()] - 2.0 * step).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_stats_conserve_bytes() {
+        let topo = Torus::new(&[8]);
+        let cfg = SimConfig {
+            collect_link_stats: true,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(2), mb(1), &[]); // 2 hops + inj + ej
+        b.add_flow(NodeId(4), NodeId(5), mb(2), &[]); // 1 hop + inj + ej
+        let r = sim.run(&b.build());
+        let bytes = r.resource_bytes.as_ref().unwrap();
+        let total: f64 = bytes.iter().sum();
+        // Flow 1 crosses 4 resources with 1 MB, flow 2 crosses 3 with 2 MB.
+        let expect = (4 * mb(1) + 3 * mb(2)) as f64;
+        assert!((total - expect).abs() / expect < 1e-9, "{total} vs {expect}");
+        // The busiest physical link carried 2 MB.
+        let hottest = r.hottest_links(1);
+        assert_eq!(hottest.len(), 1);
+        assert!((hottest[0].1 - mb(2) as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn stats_and_latency_compose() {
+        let topo = Torus::new(&[4, 4]);
+        let cfg = SimConfig {
+            collect_link_stats: true,
+            per_hop_latency_s: 1e-6,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        for i in 0..8u32 {
+            b.add_flow(NodeId(i), NodeId(15 - i), mb(1), &[]);
+        }
+        let r = sim.run(&b.build());
+        assert!(r.makespan_seconds > 0.0);
+        let bytes = r.resource_bytes.unwrap();
+        assert!(bytes.iter().sum::<f64>() > 0.0);
+    }
+}

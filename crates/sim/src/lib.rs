@@ -1,0 +1,32 @@
+//! Flow-level (fluid) interconnection-network simulator.
+//!
+//! This crate reimplements, from scratch, the simulation model the paper
+//! attributes to INRFlow: workloads are DAGs of *flows* (src endpoint, dst
+//! endpoint, size in bytes, causal dependencies). At any instant the set of
+//! active flows shares the network under **max-min fairness**: every flow
+//! gets the largest rate such that no link (or endpoint injection/ejection
+//! port) exceeds its capacity and no flow could be sped up without slowing a
+//! poorer one. Time advances from flow completion to flow completion; a
+//! completed flow releases its bandwidth and unblocks its dependents.
+//!
+//! Key design points:
+//!
+//! * **Resources** are the unidirectional links of the topology plus one
+//!   injection and one ejection resource per endpoint (the NIC). The
+//!   ejection resource is what serialises an N-to-1 Reduce at the root — the
+//!   paper's explanation for Reduce being topology-insensitive.
+//! * **Max-min** is computed by progressive filling with a lazy min-heap
+//!   ([`maxmin`]), `O(Σ path length · log R)` per recomputation.
+//! * **Batched completions** ([`engine`]): all flows finishing within a
+//!   relative `epsilon` of the earliest completion are retired in one event,
+//!   so symmetric workloads (collectives, stencils) advance in a handful of
+//!   events per phase instead of one event per flow.
+
+pub mod dag;
+pub mod engine;
+pub mod maxmin;
+pub mod report;
+
+pub use dag::{FlowDag, FlowDagBuilder, FlowId, FlowSpec};
+pub use engine::{SimConfig, Simulator};
+pub use report::SimReport;

@@ -1,0 +1,162 @@
+//! Property tests for the flow engine: physical sanity bounds, max-min
+//! feasibility/saturation, and determinism on random DAGs.
+
+use exaflow_netgraph::NodeId;
+use exaflow_sim::maxmin::MaxMinSolver;
+use exaflow_sim::{FlowDagBuilder, FlowId, SimConfig, Simulator};
+use exaflow_topo::Torus;
+use proptest::prelude::*;
+
+/// Random DAG: flows with random endpoints/sizes; each flow may depend on
+/// up to two earlier flows.
+fn random_dag(
+    eps: u32,
+) -> impl Strategy<Value = Vec<(u32, u32, u64, Vec<usize>)>> {
+    prop::collection::vec(
+        (0..eps, 0..eps, 1u64..1_000_000, prop::collection::vec(any::<usize>(), 0..3)),
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn makespan_within_physical_bounds(flows in random_dag(16)) {
+        let topo = Torus::new(&[4, 4]);
+        let rate = 10e9;
+        let mut b = FlowDagBuilder::new();
+        for (i, (s, d, bytes, deps)) in flows.iter().enumerate() {
+            let deps: Vec<FlowId> = deps
+                .iter()
+                .filter(|_| i > 0)
+                .map(|&x| FlowId((x % i) as u32))
+                .collect();
+            b.add_flow(NodeId(*s), NodeId(*d), *bytes, &deps);
+        }
+        let dag = b.build();
+        let report = Simulator::new(&topo).run(&dag);
+
+        // Upper bound: fully serial execution of every flow at line rate.
+        let serial: f64 = flows
+            .iter()
+            .map(|(s, d, bytes, _)| if s == d { 0.0 } else { *bytes as f64 * 8.0 / rate })
+            .sum();
+        prop_assert!(report.makespan_seconds <= serial * (1.0 + 1e-9) + 1e-15);
+
+        // Lower bound: the largest single network flow at line rate.
+        let widest: f64 = flows
+            .iter()
+            .map(|(s, d, bytes, _)| if s == d { 0.0 } else { *bytes as f64 * 8.0 / rate })
+            .fold(0.0, f64::max);
+        prop_assert!(report.makespan_seconds >= widest * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn engine_deterministic(flows in random_dag(16)) {
+        let topo = Torus::new(&[4, 4]);
+        let mut b = FlowDagBuilder::new();
+        for (i, (s, d, bytes, deps)) in flows.iter().enumerate() {
+            let deps: Vec<FlowId> = deps
+                .iter()
+                .filter(|_| i > 0)
+                .map(|&x| FlowId((x % i) as u32))
+                .collect();
+            b.add_flow(NodeId(*s), NodeId(*d), *bytes, &deps);
+        }
+        let dag = b.build();
+        let a = Simulator::new(&topo).run(&dag);
+        let b2 = Simulator::new(&topo).run(&dag);
+        prop_assert_eq!(a.makespan_seconds, b2.makespan_seconds);
+        prop_assert_eq!(a.events, b2.events);
+    }
+
+    #[test]
+    fn completion_times_monotone_along_dependencies(flows in random_dag(12)) {
+        let topo = Torus::new(&[4, 3]);
+        let mut b = FlowDagBuilder::new();
+        let mut dep_pairs = Vec::new();
+        for (i, (s, d, bytes, deps)) in flows.iter().enumerate() {
+            let deps: Vec<FlowId> = deps
+                .iter()
+                .filter(|_| i > 0)
+                .map(|&x| FlowId((x % i) as u32))
+                .collect();
+            for &p in &deps {
+                dep_pairs.push((p, FlowId(i as u32)));
+            }
+            b.add_flow(NodeId(*s), NodeId(*d), *bytes, &deps);
+        }
+        let dag = b.build();
+        let cfg = SimConfig { record_flow_times: true, ..SimConfig::default() };
+        let report = Simulator::with_config(&topo, cfg).run(&dag);
+        let times = report.completion_times.unwrap();
+        for (pred, succ) in dep_pairs {
+            prop_assert!(
+                times[pred.index()] <= times[succ.index()] + 1e-15,
+                "dep finished after dependent"
+            );
+        }
+    }
+
+    #[test]
+    fn maxmin_feasible_and_saturating(
+        paths in prop::collection::vec(prop::collection::vec(0u32..30, 1..6), 1..50),
+        caps in prop::collection::vec(1.0f64..100.0, 30),
+    ) {
+        // Deduplicate resources within each path (engine paths are loop-free).
+        let paths: Vec<Vec<u32>> = paths
+            .into_iter()
+            .map(|mut p| {
+                p.sort_unstable();
+                p.dedup();
+                p
+            })
+            .collect();
+        let mut solver = MaxMinSolver::new(caps.clone());
+        let mut rates = vec![0.0; paths.len()];
+        solver.solve(&paths, &mut rates);
+
+        let mut used = vec![0.0f64; caps.len()];
+        for (f, p) in paths.iter().enumerate() {
+            prop_assert!(rates[f] >= 0.0);
+            for &r in p {
+                used[r as usize] += rates[f];
+            }
+        }
+        // Feasibility: no resource above capacity.
+        for (r, &u) in used.iter().enumerate() {
+            prop_assert!(u <= caps[r] * (1.0 + 1e-9) + 1e-9, "resource {r} over");
+        }
+        // Max-min: every flow crosses at least one saturated resource.
+        for (f, p) in paths.iter().enumerate() {
+            let saturated = p.iter().any(|&r| used[r as usize] >= caps[r as usize] * (1.0 - 1e-6));
+            prop_assert!(saturated, "flow {f} not bottlenecked");
+        }
+    }
+
+    #[test]
+    fn batching_epsilon_bounds_error(flows in random_dag(16)) {
+        let topo = Torus::new(&[4, 4]);
+        let mut b = FlowDagBuilder::new();
+        for (i, (s, d, bytes, deps)) in flows.iter().enumerate() {
+            let deps: Vec<FlowId> = deps
+                .iter()
+                .filter(|_| i > 0)
+                .map(|&x| FlowId((x % i) as u32))
+                .collect();
+            b.add_flow(NodeId(*s), NodeId(*d), *bytes, &deps);
+        }
+        let dag = b.build();
+        let run = |eps: f64| {
+            let cfg = SimConfig { batch_epsilon: eps, ..SimConfig::default() };
+            Simulator::with_config(&topo, cfg).run(&dag).makespan_seconds
+        };
+        let exact = run(0.0);
+        let loose = run(1e-6);
+        // A loose epsilon can only shorten flows (they retire early), and by
+        // no more than a per-event epsilon factor; with a tiny epsilon the
+        // results must agree to ~1e-4 relative.
+        prop_assert!((exact - loose).abs() <= exact * 1e-4 + 1e-12, "{exact} vs {loose}");
+    }
+}

@@ -1,0 +1,103 @@
+//! QFDB / blade / system packaging (paper §3 and Figure 1).
+
+use serde::{Deserialize, Serialize};
+
+/// A Quad-FPGA daughterboard.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Qfdb;
+
+impl Qfdb {
+    /// Zynq Ultrascale+ MPSoCs per board.
+    pub const MPSOCS: u32 = 4;
+    /// 10 Gbps transceiver ports per board.
+    pub const PORTS: u32 = 10;
+    /// Ports consumed by the intra-blade 3-D mesh.
+    pub const MESH_PORTS: u32 = 6;
+    /// Ports reserved for external 10 GbE.
+    pub const ETHERNET_PORTS: u32 = 1;
+
+    /// Ports available to uplink into the higher interconnect tiers.
+    pub const fn uplink_ports() -> u32 {
+        Self::PORTS - Self::MESH_PORTS - Self::ETHERNET_PORTS
+    }
+}
+
+/// A blade: 16 QFDBs on a backplane arranged as a 4×2×2 mesh.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Blade;
+
+impl Blade {
+    /// QFDBs per blade.
+    pub const QFDBS: u32 = 16;
+    /// The blade's internal mesh arrangement.
+    pub const MESH_DIMS: [u32; 3] = [4, 2, 2];
+}
+
+/// Whole-system accounting for a given QFDB count.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemHierarchy {
+    /// Total QFDBs in the system.
+    pub qfdbs: u64,
+}
+
+impl SystemHierarchy {
+    /// The paper's evaluation scale: 131 072 QFDBs ("around 50 cabinets").
+    pub const PAPER_SCALE: SystemHierarchy = SystemHierarchy { qfdbs: 131_072 };
+
+    /// Create for an arbitrary scale.
+    pub fn new(qfdbs: u64) -> Self {
+        SystemHierarchy { qfdbs }
+    }
+
+    /// MPSoCs ("Zynq FPGAs") in the system. The paper quotes "over half a
+    /// million Zynq FPGAs" at the evaluation scale.
+    pub fn mpsocs(&self) -> u64 {
+        self.qfdbs * Qfdb::MPSOCS as u64
+    }
+
+    /// Number of blades (rounded up).
+    pub fn blades(&self) -> u64 {
+        self.qfdbs.div_ceil(Blade::QFDBS as u64)
+    }
+
+    /// Uplink-capable ports in the whole system.
+    pub fn uplink_ports(&self) -> u64 {
+        self.qfdbs * Qfdb::uplink_ports() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qfdb_port_budget() {
+        // 10 ports = 6 mesh + 1 ethernet + 3 uplinks (paper §3).
+        assert_eq!(Qfdb::uplink_ports(), 3);
+        assert_eq!(
+            Qfdb::MESH_PORTS + Qfdb::ETHERNET_PORTS + Qfdb::uplink_ports(),
+            Qfdb::PORTS
+        );
+    }
+
+    #[test]
+    fn blade_mesh_is_16_boards() {
+        let n: u32 = Blade::MESH_DIMS.iter().product();
+        assert_eq!(n, Blade::QFDBS);
+    }
+
+    #[test]
+    fn paper_scale_quotes() {
+        let s = SystemHierarchy::PAPER_SCALE;
+        // "over half a million Zynq FPGAAs" — 4 * 131072 = 524288.
+        assert_eq!(s.mpsocs(), 524_288);
+        assert!(s.mpsocs() > 500_000);
+        assert_eq!(s.blades(), 8192);
+    }
+
+    #[test]
+    fn rounding_up_blades() {
+        assert_eq!(SystemHierarchy::new(17).blades(), 2);
+        assert_eq!(SystemHierarchy::new(16).blades(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! The ExaNeSt system model: packaging hierarchy and the cost/power
+//! accounting behind the paper's Table 2.
+//!
+//! The unit of compute is the **QFDB** (Quad-FPGA daughterboard): four
+//! Xilinx Zynq Ultrascale+ MPSoCs with ten 10 Gbps transceivers. Sixteen
+//! QFDBs form a blade over a backplane in a fixed 4×2×2 mesh; blades extend
+//! the mesh seamlessly into a torus across the machine. Of each QFDB's ten
+//! links, six serve the intra-blade mesh, one is reserved for external
+//! 10 GbE, and up to three may uplink into the higher tiers of the hybrid
+//! interconnect.
+
+pub mod cost;
+pub mod hierarchy;
+
+pub use cost::{CostModel, Overheads, UpperTier};
+pub use hierarchy::{Blade, Qfdb, SystemHierarchy};

@@ -1,0 +1,317 @@
+//! Uplink-density connection rules (the paper's Figure 3).
+//!
+//! A subtorus of `t×t×t` QFDBs exposes one uplink to the upper tier for
+//! every `u` QFDBs, with `u ∈ {1, 2, 4, 8}`. Placement follows the paper:
+//! the subtorus is tiled with 2×2×2 subgrids and within each subgrid:
+//!
+//! * `u = 1`: every node is uplinked.
+//! * `u = 2`: the four nodes with even X are uplinked; every other node has
+//!   an uplinked neighbour one hop away in the X dimension.
+//! * `u = 4`: two opposite vertices of the subgrid are uplinked, so every
+//!   node is at most one hop from an uplink.
+//! * `u = 8`: only the subgrid root (its even-coordinate corner) is
+//!   uplinked; the farthest node is three hops away.
+//!
+//! [`UplinkMap`] precomputes, for every local node of a subtorus, whether it
+//! is uplinked and which uplinked node it routes through (the paper's
+//! "closest uplinked node", deterministic).
+
+use crate::mixed_radix::MixedRadix;
+use serde::{Deserialize, Serialize};
+
+/// Uplink density: one uplink per `u` QFDBs.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ConnectionRule {
+    /// `u = 1`: every node uplinked.
+    EveryNode,
+    /// `u = 2`: nodes with even X uplinked.
+    HalfNodes,
+    /// `u = 4`: opposite vertices of each 2×2×2 subgrid uplinked.
+    QuarterNodes,
+    /// `u = 8`: root of each 2×2×2 subgrid uplinked.
+    EighthNodes,
+}
+
+impl ConnectionRule {
+    /// The `u` parameter: QFDBs per uplink.
+    pub fn u(self) -> u32 {
+        match self {
+            ConnectionRule::EveryNode => 1,
+            ConnectionRule::HalfNodes => 2,
+            ConnectionRule::QuarterNodes => 4,
+            ConnectionRule::EighthNodes => 8,
+        }
+    }
+
+    /// Parse from the paper's `u` value.
+    pub fn from_u(u: u32) -> Option<Self> {
+        match u {
+            1 => Some(ConnectionRule::EveryNode),
+            2 => Some(ConnectionRule::HalfNodes),
+            4 => Some(ConnectionRule::QuarterNodes),
+            8 => Some(ConnectionRule::EighthNodes),
+            _ => None,
+        }
+    }
+
+    /// All four rules in the paper's order of decreasing density.
+    pub fn all() -> [ConnectionRule; 4] {
+        [
+            ConnectionRule::EveryNode,
+            ConnectionRule::HalfNodes,
+            ConnectionRule::QuarterNodes,
+            ConnectionRule::EighthNodes,
+        ]
+    }
+
+    /// Whether a local node at `coords` is uplinked under this rule.
+    ///
+    /// Requires every coordinate dimension to be even-sized for rules other
+    /// than [`ConnectionRule::EveryNode`] (the 2×2×2 tiling must fit).
+    pub fn is_uplinked(self, coords: &[u32]) -> bool {
+        match self {
+            ConnectionRule::EveryNode => true,
+            ConnectionRule::HalfNodes => coords[0] % 2 == 0,
+            ConnectionRule::QuarterNodes => {
+                // Opposite vertices of the 2x2x2 subgrid: parity (0,0,..,0)
+                // or (1,1,..,1).
+                let first = coords[0] % 2;
+                coords.iter().all(|&c| c % 2 == first)
+            }
+            ConnectionRule::EighthNodes => coords.iter().all(|&c| c % 2 == 0),
+        }
+    }
+
+    /// Local coordinates of the uplinked node that `coords` routes through
+    /// (the closest uplinked node; `coords` itself when uplinked).
+    pub fn uplink_target(self, coords: &[u32]) -> Vec<u32> {
+        match self {
+            ConnectionRule::EveryNode => coords.to_vec(),
+            ConnectionRule::HalfNodes => {
+                let mut c = coords.to_vec();
+                c[0] -= c[0] % 2;
+                c
+            }
+            ConnectionRule::QuarterNodes => {
+                // Within the subgrid, go to the nearer of the two uplinked
+                // vertices: parity popcount <= half => base corner, else the
+                // all-ones corner.
+                let base: Vec<u32> = coords.iter().map(|&c| c - c % 2).collect();
+                let ones: u32 = coords.iter().map(|&c| c % 2).sum();
+                if ones * 2 <= coords.len() as u32 {
+                    base
+                } else {
+                    base.iter().map(|&c| c + 1).collect()
+                }
+            }
+            ConnectionRule::EighthNodes => coords.iter().map(|&c| c - c % 2).collect(),
+        }
+    }
+}
+
+/// Precomputed uplink structure for one subtorus shape.
+#[derive(Clone, Debug)]
+pub struct UplinkMap {
+    /// For each local node: the local id of its uplink target.
+    target: Vec<u32>,
+    /// Local ids of uplinked nodes, ascending.
+    uplinked: Vec<u32>,
+    /// For each local node: index into `uplinked` of its target, i.e. the
+    /// *uplink ordinal* within the subtorus.
+    target_ordinal: Vec<u32>,
+    rule: ConnectionRule,
+}
+
+impl UplinkMap {
+    /// Build the map for a subtorus with the given shape.
+    ///
+    /// Panics if the rule's 2×2×2 tiling does not fit the shape (odd-sized
+    /// dimensions with `u > 1`).
+    pub fn new(shape: &MixedRadix, rule: ConnectionRule) -> Self {
+        if rule != ConnectionRule::EveryNode {
+            assert!(
+                shape.dims().iter().all(|&d| d % 2 == 0),
+                "connection rule u={} requires even dimensions, got {:?}",
+                rule.u(),
+                shape.dims()
+            );
+        }
+        let n = shape.len();
+        let mut target = Vec::with_capacity(n as usize);
+        let mut uplinked = Vec::new();
+        let mut coords = Vec::new();
+        for i in 0..n {
+            shape.decode_into(i, &mut coords);
+            if rule.is_uplinked(&coords) {
+                uplinked.push(i as u32);
+            }
+            let t = shape.encode(&rule.uplink_target(&coords));
+            target.push(t as u32);
+        }
+        let ordinal_of = |local: u32| -> u32 {
+            uplinked
+                .binary_search(&local)
+                .expect("uplink target must itself be uplinked") as u32
+        };
+        let target_ordinal = target.iter().map(|&t| ordinal_of(t)).collect();
+        UplinkMap {
+            target,
+            uplinked,
+            target_ordinal,
+            rule,
+        }
+    }
+
+    /// The connection rule.
+    pub fn rule(&self) -> ConnectionRule {
+        self.rule
+    }
+
+    /// Number of uplinks in the subtorus.
+    pub fn num_uplinks(&self) -> usize {
+        self.uplinked.len()
+    }
+
+    /// Local ids of the uplinked nodes, ascending.
+    pub fn uplinked(&self) -> &[u32] {
+        &self.uplinked
+    }
+
+    /// Local id of the uplink target of `local`.
+    #[inline]
+    pub fn target(&self, local: u32) -> u32 {
+        self.target[local as usize]
+    }
+
+    /// Ordinal (0-based index among this subtorus' uplinks) of the uplink
+    /// target of `local`.
+    #[inline]
+    pub fn target_ordinal(&self, local: u32) -> u32 {
+        self.target_ordinal[local as usize]
+    }
+
+    /// Whether `local` is itself uplinked.
+    #[inline]
+    pub fn is_uplinked(&self, local: u32) -> bool {
+        self.target[local as usize] == local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subtorus(t: u32) -> MixedRadix {
+        MixedRadix::new(&[t, t, t])
+    }
+
+    #[test]
+    fn densities_match_u() {
+        for t in [2u32, 4, 8] {
+            let shape = subtorus(t);
+            for rule in ConnectionRule::all() {
+                let map = UplinkMap::new(&shape, rule);
+                let expect = (t * t * t) / rule.u();
+                assert_eq!(
+                    map.num_uplinks() as u32,
+                    expect,
+                    "t={t} u={}",
+                    rule.u()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn u1_everyone_uplinked() {
+        let map = UplinkMap::new(&subtorus(2), ConnectionRule::EveryNode);
+        for i in 0..8 {
+            assert!(map.is_uplinked(i));
+            assert_eq!(map.target(i), i);
+        }
+    }
+
+    #[test]
+    fn u2_even_x_and_one_hop() {
+        let shape = subtorus(4);
+        let map = UplinkMap::new(&shape, ConnectionRule::HalfNodes);
+        let mut coords = Vec::new();
+        for i in 0..shape.len() {
+            shape.decode_into(i, &mut coords);
+            let up = map.is_uplinked(i as u32);
+            assert_eq!(up, coords[0] % 2 == 0);
+            if !up {
+                // Target is one hop away in X.
+                let t = map.target(i as u32);
+                let tc = shape.decode(t as u64);
+                assert_eq!(tc[0] + 1, coords[0]);
+                assert_eq!(tc[1], coords[1]);
+                assert_eq!(tc[2], coords[2]);
+            }
+        }
+    }
+
+    #[test]
+    fn u4_at_most_one_hop() {
+        let shape = subtorus(4);
+        let map = UplinkMap::new(&shape, ConnectionRule::QuarterNodes);
+        let mut coords = Vec::new();
+        for i in 0..shape.len() {
+            shape.decode_into(i, &mut coords);
+            let t = map.target(i as u32);
+            let tc = shape.decode(t as u64);
+            let hops: u32 = coords
+                .iter()
+                .zip(&tc)
+                .map(|(&a, &b)| a.abs_diff(b))
+                .sum();
+            assert!(hops <= 1, "node {coords:?} target {tc:?} is {hops} hops");
+        }
+    }
+
+    #[test]
+    fn u8_at_most_three_hops_via_root() {
+        let shape = subtorus(8);
+        let map = UplinkMap::new(&shape, ConnectionRule::EighthNodes);
+        let mut coords = Vec::new();
+        for i in 0..shape.len() {
+            shape.decode_into(i, &mut coords);
+            let t = map.target(i as u64 as u32);
+            let tc = shape.decode(t as u64);
+            let hops: u32 = coords
+                .iter()
+                .zip(&tc)
+                .map(|(&a, &b)| a.abs_diff(b))
+                .sum();
+            assert!(hops <= 3);
+            assert!(tc.iter().all(|&c| c % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn targets_are_uplinked_nodes() {
+        for rule in ConnectionRule::all() {
+            let shape = subtorus(4);
+            let map = UplinkMap::new(&shape, rule);
+            for i in 0..shape.len() as u32 {
+                let t = map.target(i);
+                assert!(map.is_uplinked(t), "u={} node {i}", rule.u());
+                assert_eq!(map.uplinked()[map.target_ordinal(i) as usize], t);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even dimensions")]
+    fn odd_dims_rejected_for_dense_rules() {
+        UplinkMap::new(&MixedRadix::new(&[3, 3, 3]), ConnectionRule::HalfNodes);
+    }
+
+    #[test]
+    fn from_u_roundtrip() {
+        for rule in ConnectionRule::all() {
+            assert_eq!(ConnectionRule::from_u(rule.u()), Some(rule));
+        }
+        assert_eq!(ConnectionRule::from_u(3), None);
+    }
+}

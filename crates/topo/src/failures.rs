@@ -1,0 +1,253 @@
+//! Link-failure injection with fault-tolerant rerouting.
+//!
+//! **Extension beyond the paper** (flagged as future work in its §6: "we
+//! are developing … mechanisms for fault tolerance"): [`Degraded`] wraps
+//! any topology, marks a set of links as failed, and transparently reroutes
+//! affected endpoint pairs over the surviving physical links via BFS. Pairs
+//! whose deterministic route is unaffected keep their original path, so the
+//! performance impact of a failure stays local — which is what makes the
+//! wrapper useful for availability experiments.
+
+use crate::Topology;
+use exaflow_netgraph::{LinkId, Network, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// A topology with some links out of service.
+pub struct Degraded<T: Topology> {
+    inner: T,
+    failed: HashSet<u32>,
+}
+
+impl<T: Topology> Degraded<T> {
+    /// Wrap `inner` with the given failed links.
+    pub fn new(inner: T, failed: impl IntoIterator<Item = LinkId>) -> Self {
+        Degraded {
+            inner,
+            failed: failed.into_iter().map(|l| l.0).collect(),
+        }
+    }
+
+    /// Fail `count` random physical cables (both directions of each duplex
+    /// pair), deterministic in `seed`. NIC-virtual links are never failed,
+    /// and a cable is skipped when it is the last surviving link of either
+    /// of its end nodes — a failure study needs a degraded network, not a
+    /// partitioned one. Fewer than `count` cables fail if the network runs
+    /// out of safely removable ones.
+    pub fn with_random_failures(inner: T, count: usize, seed: u64) -> Self {
+        let net = inner.network();
+        // Collect one representative per duplex pair (src < dst).
+        let mut cables: Vec<(LinkId, Option<LinkId>)> = Vec::new();
+        for (i, link) in net.links().iter().enumerate() {
+            if link.is_virtual || link.src > link.dst {
+                continue;
+            }
+            let reverse = net.find_physical_link(link.dst, link.src);
+            cables.push((LinkId(i as u32), reverse));
+        }
+        let mut degree = vec![0u32; net.num_nodes()];
+        for link in net.links() {
+            if !link.is_virtual {
+                degree[link.src.index()] += 1;
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        cables.shuffle(&mut rng);
+        let mut failed = HashSet::new();
+        let mut taken = 0;
+        for (fwd, rev) in cables {
+            if taken >= count {
+                break;
+            }
+            let link = net.link(fwd);
+            if degree[link.src.index()] <= 1 || degree[link.dst.index()] <= 1 {
+                continue;
+            }
+            degree[link.src.index()] -= 1;
+            degree[link.dst.index()] -= 1;
+            failed.insert(fwd.0);
+            if let Some(r) = rev {
+                failed.insert(r.0);
+            }
+            taken += 1;
+        }
+        Degraded { inner, failed }
+    }
+
+    /// The wrapped topology.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Ids of failed links.
+    pub fn failed_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.failed.iter().map(|&l| LinkId(l))
+    }
+
+    /// Number of failed unidirectional links.
+    pub fn num_failed(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// Whether the deterministic route of `(src, dst)` crosses a failure.
+    pub fn is_affected(&self, src: NodeId, dst: NodeId) -> bool {
+        let mut path = Vec::new();
+        self.inner.route(src, dst, &mut path);
+        path.iter().any(|l| self.failed.contains(&l.0))
+    }
+
+    /// BFS a shortest path over surviving physical links. Panics if `dst`
+    /// became unreachable — the caller injected enough failures to
+    /// partition the network, which is a configuration error for the
+    /// experiments this wrapper supports.
+    fn reroute(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
+        let net = self.inner.network();
+        let n = net.num_nodes();
+        let mut pred: Vec<u32> = vec![u32::MAX; n];
+        let mut queue = std::collections::VecDeque::new();
+        pred[src.index()] = u32::MAX - 1; // visited marker for the source
+        queue.push_back(src);
+        'search: while let Some(node) = queue.pop_front() {
+            for &lid in net.out_links(node) {
+                if self.failed.contains(&lid.0) || net.link(lid).is_virtual {
+                    continue;
+                }
+                let next = net.link(lid).dst;
+                if pred[next.index()] == u32::MAX {
+                    pred[next.index()] = lid.0;
+                    if next == dst {
+                        break 'search;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        assert!(
+            pred[dst.index()] != u32::MAX,
+            "{}: {src} cannot reach {dst} after {} link failures",
+            self.inner.name(),
+            self.failed.len()
+        );
+        // Walk predecessors back to the source.
+        let start = out.len();
+        let mut at = dst;
+        while at != src {
+            let lid = LinkId(pred[at.index()]);
+            out.push(lid);
+            at = net.link(lid).src;
+        }
+        out[start..].reverse();
+    }
+}
+
+impl<T: Topology> Topology for Degraded<T> {
+    fn name(&self) -> String {
+        format!("{} [{} failed links]", self.inner.name(), self.failed.len())
+    }
+
+    fn network(&self) -> &Network {
+        self.inner.network()
+    }
+
+    fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>) {
+        if src == dst {
+            return;
+        }
+        let start = path.len();
+        self.inner.route(src, dst, path);
+        if path[start..].iter().any(|l| self.failed.contains(&l.0)) {
+            path.truncate(start);
+            self.reroute(src, dst, path);
+        }
+    }
+
+    // Distance falls back to the default (route length): with failures
+    // there is no closed form.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_route, Torus};
+
+    fn first_route_link(t: &Torus, s: u32, d: u32) -> LinkId {
+        t.route_vec(NodeId(s), NodeId(d))[0]
+    }
+
+    #[test]
+    fn unaffected_pairs_keep_routes() {
+        let t = Torus::new(&[4, 4]);
+        let far_link = first_route_link(&t, 10, 11);
+        let original = t.route_vec(NodeId(0), NodeId(3));
+        let degraded = Degraded::new(Torus::new(&[4, 4]), [far_link]);
+        assert_eq!(degraded.route_vec(NodeId(0), NodeId(3)), original);
+        assert!(!degraded.is_affected(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn affected_pairs_reroute_validly() {
+        let t = Torus::new(&[4, 4]);
+        let broken = first_route_link(&t, 0, 1);
+        let degraded = Degraded::new(Torus::new(&[4, 4]), [broken]);
+        assert!(degraded.is_affected(NodeId(0), NodeId(1)));
+        let d = check_route(&degraded, NodeId(0), NodeId(1)).unwrap();
+        // The detour around a single failed torus link is 3 hops.
+        assert_eq!(d, 3);
+        let path = degraded.route_vec(NodeId(0), NodeId(1));
+        assert!(!path.contains(&broken));
+    }
+
+    #[test]
+    fn all_pairs_survive_scattered_failures() {
+        let degraded = Degraded::with_random_failures(Torus::new(&[4, 4, 2]), 4, 7);
+        assert!(degraded.num_failed() >= 4); // duplex pairs: 2 per cable
+        let e = degraded.num_endpoints() as u32;
+        for s in 0..e {
+            for d in 0..e {
+                check_route(&degraded, NodeId(s), NodeId(d)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn random_failures_deterministic() {
+        let a = Degraded::with_random_failures(Torus::new(&[4, 4]), 3, 9);
+        let b = Degraded::with_random_failures(Torus::new(&[4, 4]), 3, 9);
+        let fa: Vec<u32> = a.failed_links().map(|l| l.0).collect();
+        let fb: Vec<u32> = b.failed_links().map(|l| l.0).collect();
+        let mut fa = fa;
+        let mut fb = fb;
+        fa.sort_unstable();
+        fb.sort_unstable();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn virtual_links_never_failed() {
+        // Build a network with virtual links via the simulator convention is
+        // not possible from Torus (it has none); assert the torus case
+        // simply fails physical cables.
+        let d = Degraded::with_random_failures(Torus::new(&[8]), 2, 1);
+        for l in d.failed_links() {
+            assert!(!d.network().link(l).is_virtual);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reach")]
+    fn partition_panics() {
+        // A 2-node ring has a single duplex pair; failing it partitions.
+        let t = Torus::new(&[2]);
+        let links: Vec<LinkId> = (0..t.network().num_links() as u32).map(LinkId).collect();
+        let degraded = Degraded::new(t, links);
+        degraded.route_vec(NodeId(0), NodeId(1));
+    }
+
+    #[test]
+    fn name_reports_failures() {
+        let d = Degraded::new(Torus::new(&[4]), [LinkId(0)]);
+        assert!(d.name().contains("1 failed link"));
+    }
+}

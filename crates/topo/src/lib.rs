@@ -1,0 +1,145 @@
+//! Topology generators and deterministic routing functions.
+//!
+//! This crate implements every network arrangement studied in
+//! *"Design Exploration of Multi-tier Interconnection Networks for Exascale
+//! Systems"* (ICPP 2019):
+//!
+//! * [`Torus`] — d-dimensional torus with dimension-order routing (DOR);
+//!   the hard-wired lower tier of the ExaNeSt system and the `Torus3D`
+//!   baseline of the paper's figures.
+//! * [`KAryTree`] — the k-ary n-tree fattree (Petrini & Vanneschi) with
+//!   minimal UP*/DOWN* destination-based routing; the `Fattree` baseline and
+//!   the `NestTree` upper tier.
+//! * [`GeneralizedHypercube`] — the GHC (Bhuyan & Agrawal) with e-cube
+//!   routing; the `NestGHC` upper tier.
+//! * [`Nested`] — the paper's hybrid multi-tier topologies `NestTree(t,u)`
+//!   and `NestGHC(t,u)`: disjoint t×t×t subtori whose uplinked nodes attach
+//!   to an upper-tier fattree or GHC, with the paper's three-segment routing
+//!   (DOR to the nearest uplinked node, minimal routing in the upper tier,
+//!   DOR to the destination) and the rule that intra-subtorus traffic never
+//!   leaves its subtorus.
+//! * [`connection`] — the four uplink-density connection rules of Figure 3
+//!   (u ∈ {1, 2, 4, 8} QFDBs per uplink).
+//!
+//! Extensions beyond the paper, clearly flagged in their module docs:
+//! [`Dragonfly`] and [`Jellyfish`] (comparators the paper only discusses in
+//! related work) and [`Degraded`] (link-failure injection with
+//! fault-tolerant rerouting, from the paper's future-work list).
+//!
+//! All routing functions are deterministic and table-driven: each generator
+//! records the link ids it creates so the hot routing path performs O(1)
+//! array lookups per hop instead of adjacency searches.
+
+pub mod connection;
+pub mod dragonfly;
+pub mod failures;
+pub mod ghc;
+pub mod jellyfish;
+pub mod kary_tree;
+pub mod mixed_radix;
+pub mod nested;
+pub mod torus;
+
+pub use connection::{ConnectionRule, UplinkMap};
+pub use dragonfly::Dragonfly;
+pub use failures::Degraded;
+pub use ghc::GeneralizedHypercube;
+pub use jellyfish::Jellyfish;
+pub use kary_tree::KAryTree;
+pub use mixed_radix::MixedRadix;
+pub use nested::{Nested, UpperTierKind};
+pub use torus::Torus;
+
+use exaflow_netgraph::{LinkId, Network, NodeId};
+
+/// Default link rate of the ExaNeSt transceivers: 10 Gbps.
+pub const LINK_RATE_BPS: f64 = 10e9;
+
+/// A network topology with deterministic single-path routing.
+///
+/// Endpoints are the node ids `0..num_endpoints()`; routing is defined only
+/// between endpoints. Implementations must guarantee:
+///
+/// * `route(s, s, ..)` appends nothing,
+/// * the appended path is a loop-free walk `s → d` over physical links,
+/// * `distance(s, d)` equals the length of `route(s, d, ..)`,
+/// * routing is a pure function of `(s, d)`.
+///
+/// These invariants are exercised by this crate's property tests.
+pub trait Topology: Send + Sync {
+    /// Human-readable name, e.g. `NestGHC(t=2,u=4)`.
+    fn name(&self) -> String;
+
+    /// The underlying graph.
+    fn network(&self) -> &Network;
+
+    /// Number of compute endpoints.
+    fn num_endpoints(&self) -> usize {
+        self.network().num_endpoints()
+    }
+
+    /// Append the deterministic route from endpoint `src` to endpoint `dst`
+    /// onto `path`. Appends nothing when `src == dst`.
+    fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>);
+
+    /// Number of physical link hops of the deterministic route.
+    ///
+    /// The default computes the route; generators override this with an O(1)
+    /// closed form where one exists (all of them in this crate do).
+    fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
+        let mut path = Vec::new();
+        self.route(src, dst, &mut path);
+        path.len() as u32
+    }
+
+    /// Route into a fresh vector (convenience wrapper).
+    fn route_vec(&self, src: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut p = Vec::new();
+        self.route(src, dst, &mut p);
+        p
+    }
+}
+
+impl Topology for Box<dyn Topology> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+    fn network(&self) -> &Network {
+        self.as_ref().network()
+    }
+    fn num_endpoints(&self) -> usize {
+        self.as_ref().num_endpoints()
+    }
+    fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>) {
+        self.as_ref().route(src, dst, path)
+    }
+    fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.as_ref().distance(src, dst)
+    }
+}
+
+/// Check the routing invariants for a `(src, dst)` pair; used by tests.
+///
+/// Returns the path length on success.
+pub fn check_route(topo: &dyn Topology, src: NodeId, dst: NodeId) -> Result<u32, String> {
+    let path = topo.route_vec(src, dst);
+    exaflow_netgraph::validate_path(topo.network(), src, dst, &path)
+        .map_err(|e| format!("{}: route {src}->{dst}: {e}", topo.name()))?;
+    for &lid in &path {
+        if topo.network().link(lid).is_virtual {
+            return Err(format!(
+                "{}: route {src}->{dst} traverses virtual link {lid}",
+                topo.name()
+            ));
+        }
+    }
+    let d = topo.distance(src, dst);
+    if d != path.len() as u32 {
+        return Err(format!(
+            "{}: distance({src},{dst}) = {d} but route has {} hops",
+            topo.name(),
+            path.len()
+        ));
+    }
+    Ok(d)
+}

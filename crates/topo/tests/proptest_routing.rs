@@ -1,0 +1,151 @@
+//! Property tests for the routing invariants of every topology family:
+//! routes are valid loop-free physical walks whose length equals the
+//! analytic distance, routing is deterministic, and minimal where the
+//! topology guarantees minimality.
+
+use exaflow_netgraph::{bfs_distances_physical, NodeId};
+use exaflow_topo::{
+    check_route, ConnectionRule, GeneralizedHypercube, KAryTree, Nested, Topology, Torus,
+    UpperTierKind,
+};
+use proptest::prelude::*;
+
+fn torus_dims() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(1u32..6, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn torus_routes_valid(dims in torus_dims(), seed in any::<u64>()) {
+        let t = Torus::new(&dims);
+        let n = t.num_endpoints() as u64;
+        let s = NodeId((seed % n) as u32);
+        let d = NodeId(((seed >> 32) % n) as u32);
+        check_route(&t, s, d).unwrap();
+    }
+
+    #[test]
+    fn torus_distance_minimal(dims in torus_dims(), src in any::<u64>()) {
+        let t = Torus::new(&dims);
+        let n = t.num_endpoints() as u64;
+        let s = NodeId((src % n) as u32);
+        let bfs = bfs_distances_physical(t.network(), s);
+        for d in 0..n as u32 {
+            prop_assert_eq!(t.distance(s, NodeId(d)), bfs[d as usize]);
+        }
+    }
+
+    #[test]
+    fn tree_routes_valid(k in 2u32..6, n in 1u32..4, seed in any::<u64>()) {
+        let t = KAryTree::new(k, n);
+        let e = t.num_endpoints() as u64;
+        let s = NodeId((seed % e) as u32);
+        let d = NodeId(((seed >> 32) % e) as u32);
+        check_route(&t, s, d).unwrap();
+    }
+
+    #[test]
+    fn tree_partial_routes_valid(k in 2u32..5, n in 2u32..4, frac in 1u64..100, seed in any::<u64>()) {
+        let ports = (k as u64).pow(n);
+        let eps = ((ports * frac / 100).max(1)) as usize;
+        let t = KAryTree::with_endpoints(k, n, eps);
+        let s = NodeId((seed % eps as u64) as u32);
+        let d = NodeId(((seed >> 32) % eps as u64) as u32);
+        check_route(&t, s, d).unwrap();
+    }
+
+    #[test]
+    fn tree_distance_minimal(k in 2u32..5, n in 1u32..4, src in any::<u64>()) {
+        let t = KAryTree::new(k, n);
+        let e = t.num_endpoints() as u64;
+        let s = NodeId((src % e) as u32);
+        let bfs = bfs_distances_physical(t.network(), s);
+        for d in 0..e as u32 {
+            prop_assert_eq!(t.distance(s, NodeId(d)), bfs[d as usize]);
+        }
+    }
+
+    #[test]
+    fn ghc_routes_valid(
+        dims in prop::collection::vec(1u32..5, 1..4),
+        ports in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let g = GeneralizedHypercube::new(&dims, ports);
+        let e = g.num_endpoints() as u64;
+        let s = NodeId((seed % e) as u32);
+        let d = NodeId(((seed >> 32) % e) as u32);
+        check_route(&g, s, d).unwrap();
+    }
+
+    #[test]
+    fn ghc_distance_minimal(dims in prop::collection::vec(2u32..5, 1..3), src in any::<u64>()) {
+        let g = GeneralizedHypercube::new(&dims, 2);
+        let e = g.num_endpoints() as u64;
+        let s = NodeId((src % e) as u32);
+        let bfs = bfs_distances_physical(g.network(), s);
+        for d in 0..e as u32 {
+            prop_assert_eq!(g.distance(s, NodeId(d)), bfs[d as usize]);
+        }
+    }
+
+    #[test]
+    fn nested_routes_valid(
+        subtori in 1u64..9,
+        t in prop::sample::select(vec![2u32, 4]),
+        u in prop::sample::select(vec![1u32, 2, 4, 8]),
+        tree in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let kind = if tree { UpperTierKind::Fattree } else { UpperTierKind::GeneralizedHypercube };
+        let rule = ConnectionRule::from_u(u).unwrap();
+        let topo = Nested::new(kind, subtori, t, rule);
+        let e = topo.num_endpoints() as u64;
+        let s = NodeId((seed % e) as u32);
+        let d = NodeId(((seed >> 32) % e) as u32);
+        check_route(&topo, s, d).unwrap();
+    }
+
+    #[test]
+    fn nested_routing_deterministic(
+        subtori in 1u64..6,
+        u in prop::sample::select(vec![1u32, 2, 4, 8]),
+        seed in any::<u64>(),
+    ) {
+        let topo = Nested::new(
+            UpperTierKind::GeneralizedHypercube,
+            subtori,
+            2,
+            ConnectionRule::from_u(u).unwrap(),
+        );
+        let e = topo.num_endpoints() as u64;
+        let s = NodeId((seed % e) as u32);
+        let d = NodeId(((seed >> 32) % e) as u32);
+        prop_assert_eq!(topo.route_vec(s, d), topo.route_vec(s, d));
+    }
+
+    #[test]
+    fn nested_intra_subtorus_never_uses_switches(
+        subtori in 1u64..6,
+        u in prop::sample::select(vec![1u32, 2, 4, 8]),
+        seed in any::<u64>(),
+    ) {
+        let topo = Nested::new(
+            UpperTierKind::Fattree,
+            subtori,
+            2,
+            ConnectionRule::from_u(u).unwrap(),
+        );
+        let sub = topo.subtorus_size();
+        let s_local = seed % sub;
+        let d_local = (seed >> 32) % sub;
+        let path = topo.route_vec(NodeId(s_local as u32), NodeId(d_local as u32));
+        for lid in path {
+            let link = topo.network().link(lid);
+            prop_assert!(topo.network().is_endpoint(link.src));
+            prop_assert!(topo.network().is_endpoint(link.dst));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! MapReduce: distribute → map+shuffle → gather (Dean & Ghemawat).
+
+use crate::mapping::TaskMapping;
+use crate::Workload;
+use exaflow_sim::{FlowDag, FlowDagBuilder, FlowId};
+
+/// The paper's MapReduce model: a root task partitions and distributes the
+/// input; workers map and shuffle all-to-all; results return to the root.
+///
+/// Each worker's shuffle messages are serialised (one NIC per node), with
+/// destinations visited in rotated order `i+1, i+2, …` so the all-to-all
+/// advances as disjoint rounds rather than N² simultaneous flows.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MapReduce {
+    /// Number of tasks (task 0 is the root and also a worker).
+    pub tasks: usize,
+    /// Bytes of input partition sent root → worker.
+    pub distribute_bytes: u64,
+    /// Bytes of each worker-to-worker shuffle message.
+    pub shuffle_bytes: u64,
+    /// Bytes of each worker's result sent back to the root.
+    pub gather_bytes: u64,
+}
+
+impl Workload for MapReduce {
+    fn name(&self) -> &'static str {
+        "MapReduce"
+    }
+
+    fn num_tasks(&self) -> usize {
+        self.tasks
+    }
+
+    fn generate(&self, mapping: &TaskMapping) -> FlowDag {
+        let n = self.tasks;
+        assert!(n >= 2, "MapReduce needs at least two tasks");
+        assert!(mapping.len() >= n);
+        let root = mapping.node_of(0);
+        let mut b = FlowDagBuilder::with_capacity(n * (n + 1), 2 * n * n);
+
+        // Phase 1: distribute. Root sends partition to every worker.
+        let mut distribute: Vec<Option<FlowId>> = vec![None; n];
+        for t in 1..n {
+            let f = b.add_flow(root, mapping.node_of(t), self.distribute_bytes, &[]);
+            distribute[t] = Some(f);
+        }
+
+        // Phase 2: shuffle. Worker i sends to every j != i, serialised per
+        // sender, first message gated on its distribute receive.
+        // shuffle_in[j] collects the flows arriving at j.
+        let mut shuffle_in: Vec<Vec<FlowId>> = vec![Vec::with_capacity(n - 1); n];
+        let mut last_send: Vec<Option<FlowId>> = distribute.clone();
+        for step in 1..n {
+            for i in 0..n {
+                let j = (i + step) % n;
+                let deps: Vec<FlowId> = last_send[i].into_iter().collect();
+                let f = b.add_flow(
+                    mapping.node_of(i),
+                    mapping.node_of(j),
+                    self.shuffle_bytes,
+                    &deps,
+                );
+                last_send[i] = Some(f);
+                shuffle_in[j].push(f);
+            }
+        }
+
+        // Phase 3: gather. Worker j reduces what it received and reports to
+        // the root; gated on all shuffle flows into j.
+        for j in 1..n {
+            b.add_flow(mapping.node_of(j), root, self.gather_bytes, &shuffle_in[j]);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(n: usize) -> FlowDag {
+        MapReduce {
+            tasks: n,
+            distribute_bytes: 1000,
+            shuffle_bytes: 100,
+            gather_bytes: 10,
+        }
+        .generate(&TaskMapping::linear(n, n))
+    }
+
+    #[test]
+    fn flow_counts() {
+        let n = 8;
+        let dag = gen(n);
+        // distribute: n-1, shuffle: n*(n-1), gather: n-1.
+        assert_eq!(dag.len(), (n - 1) + n * (n - 1) + (n - 1));
+    }
+
+    #[test]
+    fn shuffle_covers_all_pairs() {
+        let n = 6;
+        let dag = gen(n);
+        let mut pairs = std::collections::HashSet::new();
+        for f in dag.flows() {
+            if f.bytes == 100 {
+                assert_ne!(f.src, f.dst);
+                assert!(pairs.insert((f.src, f.dst)), "duplicate pair");
+            }
+        }
+        assert_eq!(pairs.len(), n * (n - 1));
+    }
+
+    #[test]
+    fn gather_depends_on_all_inbound_shuffles() {
+        let n = 4;
+        let dag = gen(n);
+        // Gathers are the last n-1 flows.
+        for idx in dag.len() - (n - 1)..dag.len() {
+            let preds = dag.preds(exaflow_sim::FlowId(idx as u32));
+            assert_eq!(preds.len(), n - 1);
+        }
+    }
+
+    #[test]
+    fn sender_chains_are_serialised() {
+        let n = 4;
+        let dag = gen(n);
+        // Any shuffle flow beyond a sender's first must depend on exactly
+        // one earlier flow of the same source.
+        for idx in 0..dag.len() {
+            let f = dag.flow(exaflow_sim::FlowId(idx as u32));
+            if f.bytes != 100 {
+                continue;
+            }
+            let preds = dag.preds(exaflow_sim::FlowId(idx as u32));
+            assert!(preds.len() <= 1);
+            if let Some(&p) = preds.first() {
+                let pf = dag.flow(exaflow_sim::FlowId(p));
+                // predecessor is either the distribute into src or an
+                // earlier shuffle send from src.
+                assert!(pf.dst == f.src || pf.src == f.src);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn one_task_rejected() {
+        gen(1);
+    }
+}

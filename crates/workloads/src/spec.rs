@@ -1,0 +1,320 @@
+//! A serialisable, dynamic workload description.
+//!
+//! [`WorkloadSpec`] is the configuration-facing union of every generator in
+//! this crate; the facade crate's experiment configs and the CLI use it to
+//! describe runs declaratively (JSON).
+
+use crate::collectives::{AllReduce, Reduce};
+use crate::grid::Grid3;
+use crate::mapping::TaskMapping;
+use crate::mapreduce::MapReduce;
+use crate::nbodies::NBodies;
+use crate::sweep::{Flood, NearNeighbors, Sweep3d};
+use crate::unstructured::{Bisection, UnstructuredApp, UnstructuredHotRegion, UnstructuredMgnt};
+use crate::Workload;
+use exaflow_sim::FlowDag;
+use serde::{Deserialize, Serialize};
+
+/// Every workload of the paper, as tagged configuration data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "workload", rename_all = "snake_case")]
+pub enum WorkloadSpec {
+    /// Non-optimised N-to-1 reduce.
+    Reduce { tasks: usize, bytes: u64 },
+    /// Logarithmic (recursive-doubling) allreduce.
+    AllReduce { tasks: usize, bytes: u64 },
+    /// Distribute / shuffle / gather.
+    MapReduce {
+        tasks: usize,
+        distribute_bytes: u64,
+        shuffle_bytes: u64,
+        gather_bytes: u64,
+    },
+    /// Single diagonal wavefront over a 3-D task grid.
+    Sweep3d { gx: u32, gy: u32, gz: u32, bytes: u64 },
+    /// Pipelined wavefronts from one corner.
+    Flood {
+        gx: u32,
+        gy: u32,
+        gz: u32,
+        bytes: u64,
+        waves: u32,
+    },
+    /// 6-point stencil exchange.
+    NearNeighbors {
+        gx: u32,
+        gy: u32,
+        gz: u32,
+        bytes: u64,
+        iterations: u32,
+        periodic: bool,
+    },
+    /// Ring half-circumference chains.
+    NBodies { tasks: usize, bytes: u64 },
+    /// Uniform random fixed-size messages.
+    UnstructuredApp {
+        tasks: usize,
+        flows_per_task: usize,
+        bytes: u64,
+        seed: u64,
+    },
+    /// Kandula-style management traffic mixture.
+    UnstructuredMgnt {
+        tasks: usize,
+        flows_per_task: usize,
+        seed: u64,
+    },
+    /// Random traffic with a hot destination region.
+    UnstructuredHr {
+        tasks: usize,
+        flows_per_task: usize,
+        bytes: u64,
+        hot_fraction: f64,
+        hot_probability: f64,
+        seed: u64,
+    },
+    /// Random pairwise exchange, re-paired every round.
+    Bisection {
+        tasks: usize,
+        rounds: u32,
+        bytes: u64,
+        seed: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Instantiate the generator and produce the DAG.
+    pub fn generate(&self, mapping: &TaskMapping) -> FlowDag {
+        self.as_workload().generate(mapping)
+    }
+
+    /// Paper name of the workload.
+    pub fn name(&self) -> &'static str {
+        self.as_workload().name()
+    }
+
+    /// Number of tasks the workload spans.
+    pub fn num_tasks(&self) -> usize {
+        self.as_workload().num_tasks()
+    }
+
+    /// Whether the paper groups this workload with the heavy set (Figure 4)
+    /// rather than the light set (Figure 5).
+    pub fn is_heavy(&self) -> bool {
+        matches!(
+            self,
+            WorkloadSpec::AllReduce { .. }
+                | WorkloadSpec::NearNeighbors { .. }
+                | WorkloadSpec::NBodies { .. }
+                | WorkloadSpec::UnstructuredApp { .. }
+                | WorkloadSpec::UnstructuredHr { .. }
+                | WorkloadSpec::Bisection { .. }
+        )
+    }
+
+    fn as_workload(&self) -> Box<dyn Workload> {
+        match *self {
+            WorkloadSpec::Reduce { tasks, bytes } => Box::new(Reduce { tasks, bytes }),
+            WorkloadSpec::AllReduce { tasks, bytes } => Box::new(AllReduce { tasks, bytes }),
+            WorkloadSpec::MapReduce {
+                tasks,
+                distribute_bytes,
+                shuffle_bytes,
+                gather_bytes,
+            } => Box::new(MapReduce {
+                tasks,
+                distribute_bytes,
+                shuffle_bytes,
+                gather_bytes,
+            }),
+            WorkloadSpec::Sweep3d { gx, gy, gz, bytes } => Box::new(Sweep3d {
+                grid: Grid3::new(gx, gy, gz),
+                bytes,
+            }),
+            WorkloadSpec::Flood {
+                gx,
+                gy,
+                gz,
+                bytes,
+                waves,
+            } => Box::new(Flood {
+                grid: Grid3::new(gx, gy, gz),
+                bytes,
+                waves,
+            }),
+            WorkloadSpec::NearNeighbors {
+                gx,
+                gy,
+                gz,
+                bytes,
+                iterations,
+                periodic,
+            } => Box::new(NearNeighbors {
+                grid: Grid3::new(gx, gy, gz),
+                bytes,
+                iterations,
+                periodic,
+            }),
+            WorkloadSpec::NBodies { tasks, bytes } => Box::new(NBodies { tasks, bytes }),
+            WorkloadSpec::UnstructuredApp {
+                tasks,
+                flows_per_task,
+                bytes,
+                seed,
+            } => Box::new(UnstructuredApp {
+                tasks,
+                flows_per_task,
+                bytes,
+                seed,
+            }),
+            WorkloadSpec::UnstructuredMgnt {
+                tasks,
+                flows_per_task,
+                seed,
+            } => Box::new(UnstructuredMgnt {
+                tasks,
+                flows_per_task,
+                seed,
+            }),
+            WorkloadSpec::UnstructuredHr {
+                tasks,
+                flows_per_task,
+                bytes,
+                hot_fraction,
+                hot_probability,
+                seed,
+            } => Box::new(UnstructuredHotRegion {
+                tasks,
+                flows_per_task,
+                bytes,
+                hot_fraction,
+                hot_probability,
+                seed,
+            }),
+            WorkloadSpec::Bisection {
+                tasks,
+                rounds,
+                bytes,
+                seed,
+            } => Box::new(Bisection {
+                tasks,
+                rounds,
+                bytes,
+                seed,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_specs(tasks: usize) -> Vec<WorkloadSpec> {
+        let g = Grid3::fitting(tasks);
+        vec![
+            WorkloadSpec::Reduce { tasks, bytes: 10 },
+            WorkloadSpec::AllReduce { tasks, bytes: 10 },
+            WorkloadSpec::MapReduce {
+                tasks,
+                distribute_bytes: 10,
+                shuffle_bytes: 10,
+                gather_bytes: 10,
+            },
+            WorkloadSpec::Sweep3d {
+                gx: g.gx,
+                gy: g.gy,
+                gz: g.gz,
+                bytes: 10,
+            },
+            WorkloadSpec::Flood {
+                gx: g.gx,
+                gy: g.gy,
+                gz: g.gz,
+                bytes: 10,
+                waves: 2,
+            },
+            WorkloadSpec::NearNeighbors {
+                gx: g.gx,
+                gy: g.gy,
+                gz: g.gz,
+                bytes: 10,
+                iterations: 2,
+                periodic: true,
+            },
+            WorkloadSpec::NBodies { tasks, bytes: 10 },
+            WorkloadSpec::UnstructuredApp {
+                tasks,
+                flows_per_task: 3,
+                bytes: 10,
+                seed: 1,
+            },
+            WorkloadSpec::UnstructuredMgnt {
+                tasks,
+                flows_per_task: 3,
+                seed: 1,
+            },
+            WorkloadSpec::UnstructuredHr {
+                tasks,
+                flows_per_task: 3,
+                bytes: 10,
+                hot_fraction: 0.125,
+                hot_probability: 0.5,
+                seed: 1,
+            },
+            WorkloadSpec::Bisection {
+                tasks,
+                rounds: 2,
+                bytes: 10,
+                seed: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_eleven_generate() {
+        let mapping = TaskMapping::linear(16, 16);
+        let specs = all_specs(16);
+        assert_eq!(specs.len(), 11, "the paper studies 11 workloads");
+        for spec in &specs {
+            let dag = spec.generate(&mapping);
+            assert!(!dag.is_empty(), "{} generated nothing", spec.name());
+        }
+    }
+
+    #[test]
+    fn heavy_light_split_matches_figures() {
+        let heavy: Vec<&str> = all_specs(16)
+            .iter()
+            .filter(|s| s.is_heavy())
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(
+            heavy,
+            vec![
+                "AllReduce",
+                "NearNeighbors",
+                "n-Bodies",
+                "UnstructuredApp",
+                "UnstructuredHR",
+                "Bisection"
+            ]
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for spec in all_specs(16) {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn json_is_tagged() {
+        let spec = WorkloadSpec::Reduce { tasks: 4, bytes: 1 };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"workload\":\"reduce\""), "{json}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests over the workload generators: all DAGs are well-formed,
+//! reference only mapped endpoints, and are deterministic in their seeds.
+
+use exaflow_sim::FlowId;
+use exaflow_workloads::{TaskMapping, WorkloadSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    let tasks = 2usize..40;
+    prop_oneof![
+        tasks.clone().prop_map(|t| WorkloadSpec::Reduce { tasks: t, bytes: 100 }),
+        (1u32..6).prop_map(|p| WorkloadSpec::AllReduce { tasks: 1 << p, bytes: 100 }),
+        tasks.clone().prop_map(|t| WorkloadSpec::MapReduce {
+            tasks: t,
+            distribute_bytes: 10,
+            shuffle_bytes: 10,
+            gather_bytes: 10,
+        }),
+        (1u32..5, 1u32..5, 1u32..5).prop_map(|(x, y, z)| WorkloadSpec::Sweep3d {
+            gx: x, gy: y, gz: z, bytes: 10,
+        }),
+        (1u32..4, 1u32..4, 1u32..4, 1u32..4).prop_map(|(x, y, z, w)| WorkloadSpec::Flood {
+            gx: x, gy: y, gz: z, bytes: 10, waves: w,
+        }),
+        (1u32..5, 1u32..5, 1u32..5, 1u32..3, any::<bool>()).prop_map(
+            |(x, y, z, it, p)| WorkloadSpec::NearNeighbors {
+                gx: x, gy: y, gz: z, bytes: 10, iterations: it, periodic: p,
+            }
+        ),
+        tasks.clone().prop_map(|t| WorkloadSpec::NBodies { tasks: t.max(2), bytes: 10 }),
+        (tasks.clone(), 1usize..5, any::<u64>()).prop_map(|(t, f, s)| {
+            WorkloadSpec::UnstructuredApp { tasks: t, flows_per_task: f, bytes: 10, seed: s }
+        }),
+        (tasks.clone(), 1usize..5, any::<u64>()).prop_map(|(t, f, s)| {
+            WorkloadSpec::UnstructuredMgnt { tasks: t, flows_per_task: f, seed: s }
+        }),
+        (tasks.clone(), 1usize..5, any::<u64>()).prop_map(|(t, f, s)| {
+            WorkloadSpec::UnstructuredHr {
+                tasks: t, flows_per_task: f, bytes: 10,
+                hot_fraction: 0.25, hot_probability: 0.5, seed: s,
+            }
+        }),
+        (1usize..20, 1u32..4, any::<u64>()).prop_map(|(t, r, s)| WorkloadSpec::Bisection {
+            tasks: 2 * t, rounds: r, bytes: 10, seed: s,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dags_are_well_formed(spec in arb_spec(), extra in 0usize..10, strided in any::<bool>()) {
+        let tasks = spec.num_tasks();
+        let endpoints = tasks + extra;
+        let mapping = if strided && 2 * tasks <= endpoints {
+            TaskMapping::strided(tasks, endpoints, 2)
+        } else {
+            TaskMapping::linear(tasks, endpoints)
+        };
+        let dag = spec.generate(&mapping);
+        let allowed: std::collections::HashSet<u32> =
+            mapping.table().iter().copied().collect();
+        for (i, f) in dag.flows().iter().enumerate() {
+            prop_assert!(allowed.contains(&f.src), "{}: flow {i} src", spec.name());
+            prop_assert!(allowed.contains(&f.dst), "{}: flow {i} dst", spec.name());
+            // Dependencies reference earlier flows only (acyclicity).
+            for &p in dag.preds(FlowId(i as u32)) {
+                prop_assert!((p as usize) < i);
+            }
+        }
+    }
+
+    #[test]
+    fn generators_deterministic(spec in arb_spec()) {
+        let mapping = TaskMapping::linear(spec.num_tasks(), spec.num_tasks());
+        let a = spec.generate(&mapping);
+        let b = spec.generate(&mapping);
+        prop_assert_eq!(a.flows(), b.flows());
+        prop_assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn serde_roundtrip(spec in arb_spec()) {
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,69 @@
+//! Density sweep: the paper's central design question — how sparse can the
+//! uplink connectivity get before performance collapses?
+//!
+//! Sweeps u ∈ {1, 2, 4, 8} and t ∈ {2, 4} for both upper tiers under a
+//! heavy random workload, and prints the cost of each configuration next
+//! to its slowdown, exposing the cost/performance sweet spot the paper
+//! identifies at one uplink per 2–4 QFDBs.
+//!
+//! Run with: `cargo run --release --example density_sweep`
+
+use exaflow::prelude::*;
+use exaflow::system::UpperTier;
+
+fn main() {
+    let scale = SystemScale::new(512).unwrap();
+    let workload = WorkloadSpec::UnstructuredApp {
+        tasks: 512,
+        flows_per_task: 2,
+        bytes: 1 << 20,
+        seed: 42,
+    };
+    let cost = CostModel::default();
+
+    // Fattree baseline for normalisation.
+    let base = run_experiment(&ExperimentConfig {
+        topology: scale.fattree_spec(),
+        workload: workload.clone(),
+        mapping: MappingSpec::Linear,
+        sim: SimConfig::default(),
+        failures: None,
+    })
+    .unwrap()
+    .makespan_seconds;
+
+    println!("UnstructuredApp at {} QFDBs, normalised to the fattree baseline", scale.qfdbs);
+    println!(
+        "{:<24} {:>10} {:>12} {:>12}",
+        "topology", "norm.time", "switches*", "cost over torus"
+    );
+    for kind in [UpperTierKind::GeneralizedHypercube, UpperTierKind::Fattree] {
+        for t in [2u32, 4] {
+            for u in [1u32, 2, 4, 8] {
+                let spec = scale.nested_spec(kind, t, u).unwrap();
+                let res = run_experiment(&ExperimentConfig {
+                    topology: spec,
+                    workload: workload.clone(),
+                    mapping: MappingSpec::Linear,
+                    sim: SimConfig::default(),
+                    failures: None,
+                })
+                .unwrap();
+                let tier = match kind {
+                    UpperTierKind::GeneralizedHypercube => UpperTier::GeneralizedHypercube,
+                    UpperTierKind::Fattree => UpperTier::Fattree,
+                };
+                // Cost from the paper's model at the paper's full scale.
+                let o = cost.paper_overheads(tier, SystemHierarchy::PAPER_SCALE.qfdbs, u);
+                println!(
+                    "{:<24} {:>10.3} {:>12} {:>11.2}%",
+                    res.topology,
+                    res.makespan_seconds / base,
+                    o.switches,
+                    o.cost_increase_pct
+                );
+            }
+        }
+    }
+    println!("(* switch counts and cost from the paper's 131072-QFDB cost model)");
+}

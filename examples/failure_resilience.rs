@@ -1,0 +1,48 @@
+//! Failure resilience (extension, from the paper's future-work list):
+//! how much does a heavy workload slow down as random cables fail, on the
+//! hybrid versus the monolithic fattree?
+//!
+//! Run with: `cargo run --release --example failure_resilience`
+
+use exaflow::prelude::*;
+
+fn main() {
+    let scale = SystemScale::new(512).unwrap();
+    let workload = WorkloadSpec::UnstructuredApp {
+        tasks: 512,
+        flows_per_task: 2,
+        bytes: 1 << 20,
+        seed: 21,
+    };
+    let topologies = [
+        scale.fattree_spec(),
+        scale.nested_spec(UpperTierKind::Fattree, 2, 2).unwrap(),
+        scale.torus_spec(),
+    ];
+
+    println!("slowdown vs healthy network as random cables fail");
+    print!("{:<28}", "topology");
+    let failure_counts = [0usize, 4, 16, 64];
+    for f in failure_counts {
+        print!(" {:>8}", format!("{f} fail"));
+    }
+    println!();
+
+    for spec in topologies {
+        let mut healthy = None;
+        print!("{:<28}", spec.display_name());
+        for count in failure_counts {
+            let res = run_experiment(&ExperimentConfig {
+                topology: spec.clone(),
+                workload: workload.clone(),
+                mapping: MappingSpec::Linear,
+                sim: SimConfig::default(),
+                failures: (count > 0).then_some(FailureSpec { count, seed: 5 }),
+            })
+            .expect("run");
+            let base = *healthy.get_or_insert(res.makespan_seconds);
+            print!(" {:>8.3}", res.makespan_seconds / base);
+        }
+        println!();
+    }
+}

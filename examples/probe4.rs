@@ -1,0 +1,22 @@
+use exaflow::prelude::*;
+use exaflow::topo::ConnectionRule;
+use std::collections::HashMap;
+fn main() {
+    let n = Nested::new(UpperTierKind::Fattree, 64, 2, ConnectionRule::HalfNodes);
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for i in 0..512u32 {
+        for lid in n.route_vec(NodeId(i), NodeId(i ^ 256)) {
+            *counts.entry(lid.0).or_default() += 1;
+        }
+    }
+    let max = counts.values().max().unwrap();
+    println!("max flows on one link: {max}");
+    // show the worst links
+    let mut v: Vec<_> = counts.iter().filter(|(_,&c)| c == *max).collect();
+    v.sort();
+    for (lid, c) in v.iter().take(6) {
+        let l = n.network().link(LinkId(**lid));
+        println!("  link {} -> {}: {} flows (virtual={})", l.src, l.dst, c, l.is_virtual);
+    }
+    println!("(endpoints 0..511; switches 512.. ; leaf switches first)");
+}

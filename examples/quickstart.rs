@@ -1,0 +1,40 @@
+//! Quickstart: build a hybrid multi-tier network, run a collective on it,
+//! and compare against the torus and fattree baselines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use exaflow::prelude::*;
+
+fn main() {
+    // A 512-QFDB system: 64 subtori of 2x2x2 boards, one uplink per 2
+    // boards, generalised-hypercube upper tier — NestGHC(t=2, u=2).
+    let scale = SystemScale::new(512).expect("power-of-two scale");
+    let hybrid = scale
+        .nested_spec(UpperTierKind::GeneralizedHypercube, 2, 2)
+        .unwrap();
+
+    // The workload: a 512-task logarithmic AllReduce of 1 MiB per round.
+    let workload = WorkloadSpec::AllReduce {
+        tasks: 512,
+        bytes: 1 << 20,
+    };
+
+    println!("workload: {} over {} tasks\n", workload.name(), workload.num_tasks());
+    for spec in [hybrid, scale.fattree_spec(), scale.torus_spec()] {
+        let result = run_experiment(&ExperimentConfig {
+            topology: spec,
+            workload: workload.clone(),
+            mapping: MappingSpec::Linear,
+            sim: SimConfig::default(),
+            failures: None,
+        })
+        .expect("experiment runs");
+        println!(
+            "{:<24} completed in {:>9.3} ms  ({} flows, {} completion events)",
+            result.topology,
+            result.makespan_seconds * 1e3,
+            result.flows,
+            result.events
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Workload comparison: all eleven workloads of the paper on one hybrid
+//! topology versus the torus baseline — reproducing the paper's headline
+//! observation that the winner depends on the traffic.
+//!
+//! Run with: `cargo run --release --example workload_compare`
+
+use exaflow::prelude::*;
+use exaflow::presets;
+
+fn main() {
+    let scale = SystemScale::new(512).unwrap();
+    let hybrid = scale.nested_spec(UpperTierKind::Fattree, 2, 2).unwrap();
+    let torus = scale.torus_spec();
+
+    println!(
+        "{:<18} {:>14} {:>14} {:>9}",
+        "workload", "NestTree(2,2)", "Torus3D", "winner"
+    );
+    for workload in presets::all_workloads(scale) {
+        let run = |spec: &TopologySpec| {
+            run_experiment(&ExperimentConfig {
+                topology: spec.clone(),
+                workload: workload.clone(),
+                mapping: MappingSpec::Linear,
+                sim: SimConfig::default(),
+                failures: None,
+            })
+            .unwrap()
+            .makespan_seconds
+        };
+        let h = run(&hybrid);
+        let t = run(&torus);
+        let winner = if (h - t).abs() / h.max(t) < 0.02 {
+            "tie"
+        } else if h < t {
+            "hybrid"
+        } else {
+            "torus"
+        };
+        println!(
+            "{:<18} {:>11.3} ms {:>11.3} ms {:>9}",
+            workload.name(),
+            h * 1e3,
+            t * 1e3,
+            winner
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Umbrella package for the exaflow workspace.
+//!
+//! This crate exists so that the repository root can host runnable
+//! `examples/` and cross-crate integration `tests/`. The actual library
+//! surface lives in the [`exaflow`] facade crate and the per-subsystem
+//! crates (`exaflow-netgraph`, `exaflow-topo`, `exaflow-sim`,
+//! `exaflow-workloads`, `exaflow-system`, `exaflow-analysis`).
+
+pub use exaflow::*;

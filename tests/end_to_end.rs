@@ -1,0 +1,207 @@
+//! Cross-crate integration tests: full experiments exercising the public
+//! API from topology construction through workload generation to
+//! simulation, verifying the paper's qualitative claims at test scale.
+
+use exaflow::prelude::*;
+use exaflow::presets;
+
+/// All eleven paper workloads run end-to-end on every topology family.
+#[test]
+fn every_workload_on_every_family() {
+    let scale = SystemScale::new(64).unwrap();
+    let specs = vec![
+        scale.torus_spec(),
+        scale.fattree_spec(),
+        scale.nested_spec(UpperTierKind::Fattree, 2, 4).unwrap(),
+        scale
+            .nested_spec(UpperTierKind::GeneralizedHypercube, 2, 4)
+            .unwrap(),
+    ];
+    for workload in presets::all_workloads(scale) {
+        for spec in &specs {
+            let res = run_experiment(&ExperimentConfig {
+                topology: spec.clone(),
+                workload: workload.clone(),
+                mapping: MappingSpec::Linear,
+                sim: SimConfig::default(),
+                failures: None,
+            })
+            .unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+            assert!(
+                res.makespan_seconds > 0.0,
+                "{} on {:?} took zero time",
+                workload.name(),
+                spec
+            );
+        }
+    }
+}
+
+/// Paper claim (§5.2): the Reduce collective is insensitive to the
+/// topology because the root's consumption port serialises delivery.
+#[test]
+fn reduce_topology_insensitive() {
+    let scale = SystemScale::new(64).unwrap();
+    let w = WorkloadSpec::Reduce { tasks: 64, bytes: 1 << 18 };
+    let mut times = Vec::new();
+    for spec in [
+        scale.torus_spec(),
+        scale.fattree_spec(),
+        scale.nested_spec(UpperTierKind::Fattree, 2, 8).unwrap(),
+    ] {
+        times.push(
+            run_experiment(&ExperimentConfig {
+                topology: spec,
+                workload: w.clone(),
+                mapping: MappingSpec::Linear,
+                sim: SimConfig::default(),
+                failures: None,
+            })
+            .unwrap()
+            .makespan_seconds,
+        );
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0, f64::max);
+    assert!((max - min) / min < 1e-6, "{times:?}");
+}
+
+/// Paper claim (§5.2): under heavy random traffic the monolithic torus
+/// falls behind the fattree as the system grows (path length eats
+/// aggregate capacity).
+#[test]
+fn torus_loses_heavy_traffic_as_scale_grows() {
+    let heavy = |scale: SystemScale| {
+        let w = WorkloadSpec::UnstructuredApp {
+            tasks: scale.qfdbs as usize,
+            flows_per_task: 1,
+            bytes: 1 << 20,
+            seed: 7,
+        };
+        let run = |spec| {
+            run_experiment(&ExperimentConfig {
+                topology: spec,
+                workload: w.clone(),
+                mapping: MappingSpec::Linear,
+                sim: SimConfig::default(),
+                failures: None,
+            })
+            .unwrap()
+            .makespan_seconds
+        };
+        run(scale.torus_spec()) / run(scale.fattree_spec())
+    };
+    let small = heavy(SystemScale::new(64).unwrap());
+    let large = heavy(SystemScale::new(1024).unwrap());
+    assert!(
+        large > small,
+        "torus/fattree ratio should grow with scale: {small} -> {large}"
+    );
+}
+
+/// Paper claim (§5.2): in the hybrids, reducing uplink density (larger u)
+/// hurts heavy workloads.
+#[test]
+fn sparser_uplinks_hurt_heavy_workloads() {
+    let scale = SystemScale::new(512).unwrap();
+    let w = WorkloadSpec::UnstructuredApp {
+        tasks: 512,
+        flows_per_task: 1,
+        bytes: 1 << 20,
+        seed: 11,
+    };
+    let time_for = |u: u32| {
+        run_experiment(&ExperimentConfig {
+            topology: scale.nested_spec(UpperTierKind::Fattree, 2, u).unwrap(),
+            workload: w.clone(),
+            mapping: MappingSpec::Linear,
+            sim: SimConfig::default(),
+            failures: None,
+        })
+        .unwrap()
+        .makespan_seconds
+    };
+    let dense = time_for(1);
+    let sparse = time_for(8);
+    assert!(
+        sparse > dense * 1.5,
+        "u=8 ({sparse}) should be well above u=1 ({dense})"
+    );
+}
+
+/// Paper claim (§5.2): the torus matches grid workloads — Flood runs at
+/// least as fast on the torus as on the fattree.
+#[test]
+fn torus_wins_flood() {
+    let scale = SystemScale::new(512).unwrap();
+    let [gx, gy, gz] = scale.torus_dims();
+    let w = WorkloadSpec::Flood {
+        gx,
+        gy,
+        gz,
+        bytes: 1 << 18,
+        waves: 4,
+    };
+    let run = |spec| {
+        run_experiment(&ExperimentConfig {
+            topology: spec,
+            workload: w.clone(),
+            mapping: MappingSpec::Linear,
+            sim: SimConfig::default(),
+            failures: None,
+        })
+        .unwrap()
+        .makespan_seconds
+    };
+    let torus = run(scale.torus_spec());
+    let fattree = run(scale.fattree_spec());
+    assert!(torus <= fattree * 1.05, "torus {torus} vs fattree {fattree}");
+}
+
+/// Experiment configs survive a JSON round-trip and reproduce identical
+/// results (the CLI contract).
+#[test]
+fn config_roundtrip_reproduces_results() {
+    let scale = SystemScale::new(64).unwrap();
+    let cfg = ExperimentConfig {
+        topology: scale
+            .nested_spec(UpperTierKind::GeneralizedHypercube, 2, 2)
+            .unwrap(),
+        workload: WorkloadSpec::Bisection {
+            tasks: 64,
+            rounds: 2,
+            bytes: 1 << 16,
+            seed: 3,
+        },
+        mapping: MappingSpec::Random { seed: 5 },
+        sim: SimConfig::default(),
+        failures: None,
+    };
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+    let a = run_experiment(&cfg).unwrap();
+    let b = run_experiment(&back).unwrap();
+    assert_eq!(a.makespan_seconds, b.makespan_seconds);
+    assert_eq!(a.flows, b.flows);
+}
+
+/// Simulation is deterministic: identical configs give identical results.
+#[test]
+fn simulation_is_deterministic() {
+    let scale = SystemScale::new(64).unwrap();
+    let cfg = ExperimentConfig {
+        topology: scale.nested_spec(UpperTierKind::Fattree, 2, 2).unwrap(),
+        workload: WorkloadSpec::UnstructuredMgnt {
+            tasks: 64,
+            flows_per_task: 4,
+            seed: 9,
+        },
+        mapping: MappingSpec::Linear,
+        sim: SimConfig::default(),
+        failures: None,
+    };
+    let a = run_experiment(&cfg).unwrap();
+    let b = run_experiment(&cfg).unwrap();
+    assert_eq!(a.makespan_seconds, b.makespan_seconds);
+    assert_eq!(a.events, b.events);
+}
