@@ -171,7 +171,12 @@ mod tests {
         // the route is within one hop-class of the BFS shortest path (the
         // hybrid routing is not always globally minimal because intra-torus
         // traffic must stay local, but from uplinked nodes it should match).
-        let n = Nested::new(UpperTierKind::GeneralizedHypercube, 8, 2, ConnectionRule::EveryNode);
+        let n = Nested::new(
+            UpperTierKind::GeneralizedHypercube,
+            8,
+            2,
+            ConnectionRule::EveryNode,
+        );
         let bfs = bfs_distances_physical(n.network(), NodeId(0));
         for d in 0..n.num_endpoints() as u32 {
             let analytic = n.distance(NodeId(0), NodeId(d));

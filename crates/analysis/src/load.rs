@@ -124,7 +124,12 @@ mod tests {
         let s = channel_load_survey(&sparse, 100_000, 3);
         // With one uplink per 8 QFDBs, ~7/8 of remote traffic funnels over
         // each uplink: max load must be several times the dense case.
-        assert!(s.max_load > 2.0 * d.max_load, "{} vs {}", d.max_load, s.max_load);
+        assert!(
+            s.max_load > 2.0 * d.max_load,
+            "{} vs {}",
+            d.max_load,
+            s.max_load
+        );
     }
 
     #[test]

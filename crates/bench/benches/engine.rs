@@ -17,7 +17,11 @@ fn maxmin_solve(c: &mut Criterion) {
     for &flows in &[100usize, 1000, 10_000] {
         // Synthetic incidence: each flow crosses 12 of 4096 resources.
         let paths: Vec<Vec<u32>> = (0..flows)
-            .map(|f| (0..12).map(|h| ((f * 37 + h * 211) % 4096) as u32).collect())
+            .map(|f| {
+                (0..12)
+                    .map(|h| ((f * 37 + h * 211) % 4096) as u32)
+                    .collect()
+            })
             .collect();
         let mut solver = MaxMinSolver::new(vec![10e9; 4096]);
         let mut rates = vec![0.0; flows];
@@ -33,7 +37,10 @@ fn maxmin_solve(c: &mut Criterion) {
 
 fn sim_allreduce(c: &mut Criterion) {
     let topo = KAryTree::new(8, 3); // 512 endpoints
-    let w = WorkloadSpec::AllReduce { tasks: 512, bytes: 1 << 20 };
+    let w = WorkloadSpec::AllReduce {
+        tasks: 512,
+        bytes: 1 << 20,
+    };
     let mapping = TaskMapping::linear(512, 512);
     let dag = w.generate(&mapping);
     c.bench_function("sim_allreduce_512", |b| {

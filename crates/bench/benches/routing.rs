@@ -11,8 +11,12 @@ fn route_each_family(c: &mut Criterion) {
     let tree = KAryTree::new(13, 3);
     let ghc = GeneralizedHypercube::new(&[8, 8, 4], 8);
     let nest = Nested::new(UpperTierKind::Fattree, 256, 2, ConnectionRule::HalfNodes);
-    let topos: Vec<(&str, &dyn Topology)> =
-        vec![("torus", &torus), ("fattree", &tree), ("ghc", &ghc), ("nest_tree", &nest)];
+    let topos: Vec<(&str, &dyn Topology)> = vec![
+        ("torus", &torus),
+        ("fattree", &tree),
+        ("ghc", &ghc),
+        ("nest_tree", &nest),
+    ];
     let mut group = c.benchmark_group("route");
     for (name, topo) in topos {
         let n = topo.num_endpoints() as u32;
@@ -53,7 +57,11 @@ fn route_cache_ablation(c: &mut Criterion) {
                     cache_routes: cached,
                     ..SimConfig::default()
                 };
-                black_box(Simulator::with_config(&topo, cfg).run(&dag).makespan_seconds)
+                black_box(
+                    Simulator::with_config(&topo, cfg)
+                        .run(&dag)
+                        .makespan_seconds,
+                )
             })
         });
     }

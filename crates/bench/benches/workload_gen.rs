@@ -7,7 +7,10 @@ use std::hint::black_box;
 fn generate_workloads(c: &mut Criterion) {
     let mapping = TaskMapping::linear(512, 512);
     let specs = [
-        WorkloadSpec::AllReduce { tasks: 512, bytes: 1 },
+        WorkloadSpec::AllReduce {
+            tasks: 512,
+            bytes: 1,
+        },
         WorkloadSpec::MapReduce {
             tasks: 256,
             distribute_bytes: 1,

@@ -9,8 +9,8 @@
 //! DOT files are written to `figure2/` in the current directory; render
 //! with `neato -Tpng figure2/<name>.dot`.
 
-use exaflow::prelude::*;
 use exaflow::netgraph::dot::{to_dot, DotOptions};
+use exaflow::prelude::*;
 use exaflow::topo::ConnectionRule;
 
 fn main() {

@@ -16,7 +16,7 @@ fn main() {
     });
     eprintln!("Figure 5 (light workloads) at {} QFDBs", args.scale.qfdbs);
     let workloads = presets::light_workloads(args.scale);
-    let panels = run_panels(args.scale, &workloads).unwrap_or_else(|e| {
+    let panels = run_panels(args.scale, &workloads, args.threads).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });

@@ -34,12 +34,19 @@ fn main() {
         scale.qfdbs, samples
     );
 
-    let mut rows = Vec::new();
-    for (t, u) in presets::hybrid_grid() {
-        if scale.subtori(t).is_err() {
-            eprintln!("skipping t={t}: scale not divisible");
-            continue;
-        }
+    let grid: Vec<(u32, u32)> = presets::hybrid_grid()
+        .into_iter()
+        .filter(|&(t, _)| {
+            let ok = scale.subtori(t).is_ok();
+            if !ok {
+                eprintln!("skipping t={t}: scale not divisible");
+            }
+            ok
+        })
+        .collect();
+    // Each grid point builds two full topologies and surveys them — fan
+    // the points out across the worker pool.
+    let rows: Vec<Row> = scoped_map(&grid, args.grid_threads(), |_, &(t, u)| {
         let mut cell = Row {
             t,
             u,
@@ -65,8 +72,11 @@ fn main() {
                 }
             }
         }
-        rows.push(cell);
-    }
+        cell
+    })
+    .into_iter()
+    .map(|o| o.value.unwrap_or_else(|e| panic!("survey failed: {e}")))
+    .collect();
 
     println!("Table 1: average distance and diameter of the hybrid topologies");
     println!(
@@ -92,11 +102,15 @@ fn main() {
     let torus_dims = scale.torus_dims();
     let torus_avg = exaflow::topo::torus::average_distance_for_dims(&torus_dims);
     let torus_diam: u32 = torus_dims.iter().map(|&d| d / 2).sum();
-    println!("reference Fattree: avg {:.2}, diameter {}", tree_stats.average, tree_stats.diameter);
-    println!("reference Torus:   avg {:.2}, diameter {}", torus_avg, torus_diam);
     println!(
-        "(paper at 131072 QFDBs: fattree avg 5.94 diam 6; torus avg 40 diam 80)"
+        "reference Fattree: avg {:.2}, diameter {}",
+        tree_stats.average, tree_stats.diameter
     );
+    println!(
+        "reference Torus:   avg {:.2}, diameter {}",
+        torus_avg, torus_diam
+    );
+    println!("(paper at 131072 QFDBs: fattree avg 5.94 diam 6; torus avg 40 diam 80)");
 
     args.dump_json(&rows);
 }

@@ -39,22 +39,22 @@ fn main() {
     let model = CostModel::default();
     let n = scale.qfdbs;
 
-    let mut rows = Vec::new();
-    for (t, u) in presets::hybrid_grid() {
-        if scale.subtori(t).is_err() {
-            continue;
-        }
+    let grid: Vec<(u32, u32)> = presets::hybrid_grid()
+        .into_iter()
+        .filter(|&(t, _)| scale.subtori(t).is_ok())
+        .collect();
+    // Instantiating both topologies per grid point dominates the run at
+    // paper scale — fan the points out across the worker pool.
+    let rows: Vec<Row> = scoped_map(&grid, args.grid_threads(), |_, &(t, u)| {
         let built = |kind: UpperTierKind| -> u64 {
             let spec = scale.nested_spec(kind, t, u).unwrap();
-            match spec.build().unwrap().network().num_switches() {
-                s => s as u64,
-            }
+            spec.build().unwrap().network().num_switches() as u64
         };
         let ghc_paper = model.paper_switch_count(UpperTier::GeneralizedHypercube, n, u);
         let tree_paper = model.paper_switch_count(UpperTier::Fattree, n, u);
         let ghc_over = model.overheads(ghc_paper, n);
         let tree_over = model.overheads(tree_paper, n);
-        rows.push(Row {
+        Row {
             t,
             u,
             paper_switches_ghc: ghc_paper,
@@ -65,13 +65,24 @@ fn main() {
             cost_pct_tree: tree_over.cost_increase_pct,
             power_pct_ghc: ghc_over.power_increase_pct,
             power_pct_tree: tree_over.power_increase_pct,
-        });
-    }
+        }
+    })
+    .into_iter()
+    .map(|o| o.value.unwrap_or_else(|e| panic!("grid point failed: {e}")))
+    .collect();
 
     println!("Table 2: switches and cost/power overhead ({n} QFDBs)");
     println!(
         "{:>7} | {:>11} {:>11} | {:>11} {:>11} | {:>7} {:>7} | {:>7} {:>7}",
-        "(t,u)", "paper GHC", "paper Tree", "built GHC", "built Tree", "cost%G", "cost%T", "pwr%G", "pwr%T"
+        "(t,u)",
+        "paper GHC",
+        "paper Tree",
+        "built GHC",
+        "built Tree",
+        "cost%G",
+        "cost%T",
+        "pwr%G",
+        "pwr%T"
     );
     for r in &rows {
         println!(

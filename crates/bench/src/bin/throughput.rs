@@ -39,7 +39,9 @@ fn main() {
     let mut specs: Vec<TopologySpec> = vec![
         args.scale.torus_spec(),
         args.scale.fattree_spec(),
-        args.scale.nested_spec(UpperTierKind::Fattree, 2, 2).unwrap(),
+        args.scale
+            .nested_spec(UpperTierKind::Fattree, 2, 2)
+            .unwrap(),
         args.scale
             .nested_spec(UpperTierKind::GeneralizedHypercube, 2, 2)
             .unwrap(),
@@ -68,29 +70,53 @@ fn main() {
 
     println!("Aggregate throughput, random pairwise traffic ({n} QFDBs nominal)");
     println!("{:<44} {:>10} {:>14}", "topology", "goodput", "makespan");
-    let mut rows = Vec::new();
-    for spec in specs {
-        let eps = spec.num_endpoints() as u64;
-        let tasks = (eps as usize / 2) * 2; // Bisection needs an even count
-        let workload = match &workload {
-            WorkloadSpec::Bisection { rounds, bytes, seed, .. } => WorkloadSpec::Bisection {
-                tasks,
-                rounds: *rounds,
-                bytes: *bytes,
-                seed: *seed,
-            },
-            _ => unreachable!(),
-        };
-        let res = run_experiment(&ExperimentConfig {
-            topology: spec,
-            workload,
-            mapping: MappingSpec::Linear,
-            sim: SimConfig::default(),
-            failures: None,
+    let entries: Vec<(ExperimentConfig, usize)> = specs
+        .into_iter()
+        .map(|spec| {
+            let eps = spec.num_endpoints() as u64;
+            let tasks = (eps as usize / 2) * 2; // Bisection needs an even count
+            let workload = match &workload {
+                WorkloadSpec::Bisection {
+                    rounds,
+                    bytes,
+                    seed,
+                    ..
+                } => WorkloadSpec::Bisection {
+                    tasks,
+                    rounds: *rounds,
+                    bytes: *bytes,
+                    seed: *seed,
+                },
+                _ => unreachable!(),
+            };
+            let cfg = ExperimentConfig {
+                topology: spec,
+                workload,
+                mapping: MappingSpec::Linear,
+                sim: SimConfig::default(),
+                failures: None,
+            };
+            (cfg, tasks)
         })
-        .expect("experiment");
-        let total_bits = tasks as f64 * rounds as f64 * bytes as f64 * 8.0;
-        let goodput = total_bits / res.makespan_seconds / (tasks as f64 * 10e9);
+        .collect();
+    let configs: Vec<ExperimentConfig> = entries.iter().map(|(c, _)| c.clone()).collect();
+    let mut suite = ExperimentSuite::new(configs);
+    if let Some(t) = args.threads {
+        suite = suite.threads(t);
+    }
+    let run = suite.run();
+    eprintln!(
+        "suite: {} experiments in {:.2}s on {} thread(s) ({:.0} events/s)",
+        run.report.experiments,
+        run.report.wall_seconds,
+        run.report.threads,
+        run.report.events_per_second,
+    );
+    let mut rows = Vec::new();
+    for (res, (_, tasks)) in run.results.into_iter().zip(&entries) {
+        let res = res.expect("experiment");
+        let total_bits = *tasks as f64 * rounds as f64 * bytes as f64 * 8.0;
+        let goodput = total_bits / res.makespan_seconds / (*tasks as f64 * 10e9);
         println!(
             "{:<44} {:>9.1}% {:>11.3} ms",
             res.topology,

@@ -28,6 +28,8 @@ pub struct HarnessArgs {
     pub json: Option<String>,
     /// Quick mode: smaller scale and fewer samples.
     pub quick: bool,
+    /// Worker threads for suite/grid fan-out (default: all cores).
+    pub threads: Option<usize>,
 }
 
 impl HarnessArgs {
@@ -36,6 +38,7 @@ impl HarnessArgs {
         let mut scale = default_scale;
         let mut json = None;
         let mut quick = false;
+        let mut threads = None;
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -45,8 +48,16 @@ impl HarnessArgs {
                 }
                 "--json" => json = Some(it.next().ok_or("--json needs a path")?),
                 "--quick" => quick = true,
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    let n: usize = v.parse().map_err(|e| format!("bad --threads: {e}"))?;
+                    if n == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                    threads = Some(n);
+                }
                 "--help" | "-h" => {
-                    eprintln!("options: --scale <qfdbs> --json <path> --quick");
+                    eprintln!("options: --scale <qfdbs> --json <path> --threads <n> --quick");
                     std::process::exit(0);
                 }
                 other => return Err(format!("unknown option {other}")),
@@ -59,7 +70,15 @@ impl HarnessArgs {
             scale: SystemScale::new(scale)?,
             json,
             quick,
+            threads,
         })
+    }
+
+    /// The worker count for [`exaflow::scoped_map`]-style grid fan-out:
+    /// `--threads` if given, else one per available core.
+    pub fn grid_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
     }
 
     /// Write `value` to the JSON path when requested.
@@ -74,62 +93,96 @@ impl HarnessArgs {
 
 /// One panel of Figure 4 or 5: a workload swept across the hybrid grid.
 ///
-/// Returns, per (t, u) cell, the normalised times of the four curves
-/// (NestGHC, NestTree, Fattree, Torus), normalised to the fattree baseline.
+/// The whole grid — two baselines plus NestGHC/NestTree per viable (t, u)
+/// — is submitted as one [`ExperimentSuite`] and fanned out across
+/// `threads` workers (all cores when `None`). Returns, per cell, the
+/// normalised times of the four curves (NestGHC, NestTree, Fattree,
+/// Torus), normalised to the fattree baseline.
 pub fn figure_panel(
     scale: SystemScale,
     workload: &WorkloadSpec,
+    threads: Option<usize>,
 ) -> Result<FigurePanel, String> {
-    let grid = presets::hybrid_grid();
-    // Baselines are (t,u)-independent: run once.
-    let fattree = run_one(scale.fattree_spec(), workload)?;
-    let torus = run_one(scale.torus_spec(), workload)?;
-    let base = fattree.makespan_seconds;
-    if base <= 0.0 {
-        return Err("fattree baseline has zero makespan".into());
-    }
-    let mut cells = Vec::new();
-    for (t, u) in grid {
-        if scale.subtori(t).is_err() {
-            continue; // tiny scales cannot host big subtori
-        }
-        let ghc = run_one(
-            scale.nested_spec(UpperTierKind::GeneralizedHypercube, t, u)?,
-            workload,
-        )?;
-        let tree = run_one(scale.nested_spec(UpperTierKind::Fattree, t, u)?, workload)?;
-        cells.push(FigureCell {
-            t,
-            u,
-            nest_ghc: ghc.makespan_seconds / base,
-            nest_tree: tree.makespan_seconds / base,
-            fattree: 1.0,
-            torus: torus.makespan_seconds / base,
-        });
-    }
-    Ok(FigurePanel {
-        workload: workload.name().to_owned(),
-        scale_qfdbs: scale.qfdbs,
-        baseline_seconds: base,
-        torus_seconds: torus.makespan_seconds,
-        cells,
-    })
-}
-
-fn run_one(spec: TopologySpec, workload: &WorkloadSpec) -> Result<ExperimentResult, String> {
-    let cfg = ExperimentConfig {
+    let config_for = |spec: TopologySpec| ExperimentConfig {
         topology: spec,
         workload: workload.clone(),
         mapping: MappingSpec::Linear,
         sim: SimConfig::default(),
         failures: None,
     };
-    let res = run_experiment(&cfg)?;
+    let grid: Vec<(u32, u32)> = presets::hybrid_grid()
+        .into_iter()
+        .filter(|&(t, _)| scale.subtori(t).is_ok()) // tiny scales cannot host big subtori
+        .collect();
+    // Baselines are (t,u)-independent: configs 0 and 1; then one
+    // GHC/Tree pair per grid point.
+    let mut configs = vec![
+        config_for(scale.fattree_spec()),
+        config_for(scale.torus_spec()),
+    ];
+    for &(t, u) in &grid {
+        configs.push(config_for(scale.nested_spec(
+            UpperTierKind::GeneralizedHypercube,
+            t,
+            u,
+        )?));
+        configs.push(config_for(scale.nested_spec(
+            UpperTierKind::Fattree,
+            t,
+            u,
+        )?));
+    }
+
+    let mut suite = ExperimentSuite::new(configs);
+    if let Some(n) = threads {
+        suite = suite.threads(n);
+    }
+    let run = suite.run();
+    for res in run.results.iter().flatten() {
+        eprintln!(
+            "  {:<22} {:<16} makespan {:>12.6} s  ({} flows, {} events, {:.2}s wall)",
+            res.topology,
+            res.workload,
+            res.makespan_seconds,
+            res.flows,
+            res.events,
+            res.wall_seconds
+        );
+    }
     eprintln!(
-        "  {:<22} {:<16} makespan {:>12.6} s  ({} flows, {} events, {:.2}s wall)",
-        res.topology, res.workload, res.makespan_seconds, res.flows, res.events, res.wall_seconds
+        "  suite: {} experiments in {:.2}s on {} thread(s) ({:.0} events/s, speedup {:.2}x)",
+        run.report.experiments,
+        run.report.wall_seconds,
+        run.report.threads,
+        run.report.events_per_second,
+        run.report.speedup(),
     );
-    Ok(res)
+    let results: Vec<ExperimentResult> = run.results.into_iter().collect::<Result<_, String>>()?;
+
+    let base = results[0].makespan_seconds;
+    if base <= 0.0 {
+        return Err("fattree baseline has zero makespan".into());
+    }
+    let torus = results[1].makespan_seconds;
+    let cells = grid
+        .iter()
+        .zip(results[2..].chunks_exact(2))
+        .map(|(&(t, u), pair)| FigureCell {
+            t,
+            u,
+            nest_ghc: pair[0].makespan_seconds / base,
+            nest_tree: pair[1].makespan_seconds / base,
+            fattree: 1.0,
+            torus: torus / base,
+        })
+        .collect();
+    Ok(FigurePanel {
+        workload: workload.name().to_owned(),
+        scale_qfdbs: scale.qfdbs,
+        baseline_seconds: base,
+        torus_seconds: torus,
+        cells,
+    })
 }
 
 /// One (t, u) cell of a figure panel.
@@ -158,8 +211,12 @@ impl FigurePanel {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        writeln!(out, "{}  (normalised to Fattree; {} QFDBs)", self.workload, self.scale_qfdbs)
-            .unwrap();
+        writeln!(
+            out,
+            "{}  (normalised to Fattree; {} QFDBs)",
+            self.workload, self.scale_qfdbs
+        )
+        .unwrap();
         writeln!(
             out,
             "  {:>7} {:>10} {:>10} {:>10} {:>10}",
@@ -178,15 +235,17 @@ impl FigurePanel {
     }
 }
 
-/// Run a list of panels and collect them keyed by workload name.
+/// Run a list of panels and collect them keyed by workload name. Each
+/// panel's grid fans out across `threads` suite workers.
 pub fn run_panels(
     scale: SystemScale,
     workloads: &[WorkloadSpec],
+    threads: Option<usize>,
 ) -> Result<BTreeMap<String, FigurePanel>, String> {
     let mut out = BTreeMap::new();
     for w in workloads {
         eprintln!("== {} ==", w.name());
-        let panel = figure_panel(scale, w)?;
+        let panel = figure_panel(scale, w, threads)?;
         println!("{}", panel.render());
         out.insert(w.name().to_owned(), panel);
     }
@@ -200,8 +259,11 @@ mod tests {
     #[test]
     fn figure_panel_tiny() {
         let scale = SystemScale::new(64).unwrap();
-        let w = WorkloadSpec::Reduce { tasks: 64, bytes: 1 << 12 };
-        let panel = figure_panel(scale, &w).unwrap();
+        let w = WorkloadSpec::Reduce {
+            tasks: 64,
+            bytes: 1 << 12,
+        };
+        let panel = figure_panel(scale, &w, Some(2)).unwrap();
         // t=8 is skipped at 64 QFDBs: 8 of 12 grid points remain.
         assert_eq!(panel.cells.len(), 8);
         // Reduce is topology-insensitive: every normalised value ~1.

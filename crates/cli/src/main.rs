@@ -3,6 +3,9 @@
 //! ```text
 //! exaflow run <config.json>      run an experiment from a JSON config
 //! exaflow run -                  read the config from stdin
+//! exaflow sweep <suite.json>     run a whole suite (JSON array of configs)
+//!                                in parallel; --threads N picks the pool
+//!                                size (1 = serial)
 //! exaflow topo <config.json>     build the topology and print its stats
 //! exaflow sample <name>          print a sample experiment config
 //! exaflow help                   this text
@@ -50,6 +53,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(args.get(1).map(String::as_str)),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("topo") => cmd_topo(args.get(1).map(String::as_str)),
         Some("sample") => cmd_sample(args.get(1).map(String::as_str)),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -68,21 +72,28 @@ fn main() {
 fn print_help() {
     eprintln!("usage:");
     eprintln!("  exaflow run <config.json | ->   run an experiment, print the result as JSON");
+    eprintln!("  exaflow sweep <suite.json | -> [--threads <n>]");
+    eprintln!("                                  run a JSON array of configs in parallel,");
+    eprintln!("                                  print per-config results + suite metrics");
     eprintln!("  exaflow topo <config.json | ->  build the topology of a config, print stats");
     eprintln!("  exaflow sample [name]           print a sample config (or list names)");
 }
 
-fn read_config(path: Option<&str>) -> Result<ExperimentConfig, String> {
+fn read_body(path: Option<&str>) -> Result<String, String> {
     let path = path.ok_or("missing config path (use '-' for stdin)")?;
-    let body = if path == "-" {
+    if path == "-" {
         let mut s = String::new();
         std::io::stdin()
             .read_to_string(&mut s)
             .map_err(|e| format!("read stdin: {e}"))?;
-        s
+        Ok(s)
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?
-    };
+        std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))
+    }
+}
+
+fn read_config(path: Option<&str>) -> Result<ExperimentConfig, String> {
+    let body = read_body(path)?;
     serde_json::from_str(&body).map_err(|e| format!("parse config: {e}"))
 }
 
@@ -97,6 +108,60 @@ fn cmd_run(path: Option<&str>) -> i32 {
             1
         }
     }
+}
+
+/// JSON document printed by `exaflow sweep`: per-config outcomes (in
+/// input order, `{"Ok": ...}` or `{"Err": "..."}`) plus suite metrics.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SweepOutput {
+    results: Vec<Result<ExperimentResult, String>>,
+    report: SuiteReport,
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let mut path: Option<&str> = None;
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("error: --threads needs a positive integer");
+                    return 1;
+                }
+            },
+            other if path.is_none() => path = Some(other),
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                return 1;
+            }
+        }
+    }
+    let parsed: Result<Vec<ExperimentConfig>, String> = read_body(path)
+        .and_then(|body| serde_json::from_str(&body).map_err(|e| format!("parse suite: {e}")));
+    let configs = match parsed {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let mut suite = ExperimentSuite::new(configs);
+    if let Some(n) = threads {
+        suite = suite.threads(n);
+    }
+    let run = suite.run();
+    eprintln!(
+        "sweep: {}/{} experiments succeeded in {:.2}s on {} thread(s)",
+        run.report.succeeded, run.report.experiments, run.report.wall_seconds, run.report.threads
+    );
+    let out = SweepOutput {
+        results: run.results,
+        report: run.report,
+    };
+    println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    0
 }
 
 fn cmd_topo(path: Option<&str>) -> i32 {
@@ -122,7 +187,11 @@ fn cmd_topo(path: Option<&str>) -> i32 {
                 "distance: avg {:.2}, diameter {}{}",
                 survey.average,
                 survey.diameter,
-                if survey.exact { " (exact)" } else { " (sampled)" }
+                if survey.exact {
+                    " (exact)"
+                } else {
+                    " (sampled)"
+                }
             );
             0
         }

@@ -20,7 +20,10 @@ fn sample_lists_and_prints() {
     assert!(out.status.success());
     let list = String::from_utf8_lossy(&out.stdout);
     assert!(list.contains("allreduce-nestghc"));
-    let out = exaflow().args(["sample", "sweep3d-torus"]).output().unwrap();
+    let out = exaflow()
+        .args(["sample", "sweep3d-torus"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let body = String::from_utf8_lossy(&out.stdout);
     assert!(body.contains("\"topology\": \"torus\""));
@@ -53,8 +56,7 @@ fn run_from_stdin_outputs_json_result() {
         .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
-    let body: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("valid JSON result");
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON result");
     assert_eq!(body["workload"], "Reduce");
     assert_eq!(body["flows"], 7);
     assert!(body["makespan_seconds"].as_f64().unwrap() > 0.0);
@@ -70,7 +72,12 @@ fn run_rejects_bad_config() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"{ nonsense").unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"{ nonsense")
+        .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(!out.status.success());
 }
@@ -99,6 +106,106 @@ fn topo_reports_stats() {
     let body = String::from_utf8_lossy(&out.stdout);
     assert!(body.contains("16 endpoints"));
     assert!(body.contains("diameter 4"));
+}
+
+/// Shape of the `exaflow sweep` stdout document, for round-tripping.
+#[derive(serde::Deserialize)]
+struct Sweep {
+    results: Vec<Result<exaflow::ExperimentResult, String>>,
+    report: exaflow::SuiteReport,
+}
+
+const SWEEP_SUITE: &str = r#"[
+  {"topology": {"topology": "torus", "dims": [4, 4]},
+   "workload": {"workload": "all_reduce", "tasks": 8, "bytes": 65536}},
+  {"topology": {"topology": "torus", "dims": [4, 4]},
+   "workload": {"workload": "all_reduce", "tasks": 64, "bytes": 65536}},
+  {"topology": {"topology": "fattree", "k": 4, "n": 2},
+   "workload": {"workload": "reduce", "tasks": 16, "bytes": 65536}}
+]"#;
+
+#[test]
+fn sweep_runs_suite_from_file() {
+    let path = std::env::temp_dir().join(format!("exaflow-sweep-{}.json", std::process::id()));
+    std::fs::write(&path, SWEEP_SUITE).unwrap();
+    let out = exaflow()
+        .args(["sweep", path.to_str().unwrap(), "--threads", "2"])
+        .output()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The printed document round-trips into results + suite metrics.
+    let sweep: Sweep = serde_json::from_slice(&out.stdout).expect("valid sweep JSON");
+    assert_eq!(sweep.results.len(), 3);
+    assert!(sweep.results[0].is_ok());
+    // 64 tasks don't fit a 16-endpoint torus: an Err entry, not an abort.
+    let err = sweep.results[1].as_ref().unwrap_err();
+    assert!(err.contains("64 tasks"), "unexpected error text: {err}");
+    assert!(sweep.results[2].is_ok());
+    assert_eq!(sweep.report.experiments, 3);
+    assert_eq!(sweep.report.succeeded, 2);
+    assert_eq!(sweep.report.failed, 1);
+    assert_eq!(sweep.report.threads, 2);
+    assert_eq!(sweep.report.per_experiment_wall_seconds.len(), 3);
+
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("2/3 experiments succeeded"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_rejects_malformed_json() {
+    use std::io::Write;
+    let mut child = exaflow()
+        .args(["sweep", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"[{ nonsense")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parse suite"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_empty_suite_succeeds() {
+    use std::io::Write;
+    let mut child = exaflow()
+        .args(["sweep", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"[]").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let sweep: Sweep = serde_json::from_slice(&out.stdout).expect("valid sweep JSON");
+    assert!(sweep.results.is_empty());
+    assert_eq!(sweep.report.experiments, 0);
+}
+
+#[test]
+fn sweep_rejects_bad_thread_count() {
+    let out = exaflow()
+        .args(["sweep", "-", "--threads", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--threads"), "stderr: {err}");
 }
 
 #[test]

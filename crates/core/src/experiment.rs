@@ -9,19 +9,15 @@ use serde::{Deserialize, Serialize};
 /// Task placement policy.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "mapping", rename_all = "snake_case")]
+#[derive(Default)]
 pub enum MappingSpec {
     /// Task `i` → endpoint `i`.
+    #[default]
     Linear,
     /// Task `i` → endpoint `i·stride`.
     Strided { stride: usize },
     /// Uniform random placement, collision-free.
     Random { seed: u64 },
-}
-
-impl Default for MappingSpec {
-    fn default() -> Self {
-        MappingSpec::Linear
-    }
 }
 
 impl MappingSpec {
@@ -80,6 +76,10 @@ pub struct ExperimentResult {
     pub flows: u64,
     /// Completion events processed.
     pub events: u64,
+    /// Progressive-filling freeze iterations across all events (engine
+    /// effort; absent in pre-suite result files).
+    #[serde(default)]
+    pub maxmin_iterations: u64,
     /// Wall-clock seconds the simulation itself took.
     pub wall_seconds: f64,
 }
@@ -112,6 +112,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, String
         makespan_seconds: report.makespan_seconds,
         flows: report.flows,
         events: report.events,
+        maxmin_iterations: report.maxmin_iterations,
         wall_seconds: started.elapsed().as_secs_f64(),
     })
 }
@@ -139,8 +140,14 @@ mod tests {
         // The paper's observation: Reduce serialises at the root's
         // consumption port, so all networks score (nearly) the same.
         let topologies = [
-            TopologySpec::Torus { dims: vec![4, 2, 2] },
-            TopologySpec::Fattree { k: 4, n: 2, endpoints: None },
+            TopologySpec::Torus {
+                dims: vec![4, 2, 2],
+            },
+            TopologySpec::Fattree {
+                k: 4,
+                n: 2,
+                endpoints: None,
+            },
             TopologySpec::Nested {
                 upper: UpperTierKind::GeneralizedHypercube,
                 subtori: 2,
@@ -150,7 +157,11 @@ mod tests {
         ];
         let times: Vec<f64> = topologies
             .iter()
-            .map(|t| run_experiment(&reduce_cfg(t.clone())).unwrap().makespan_seconds)
+            .map(|t| {
+                run_experiment(&reduce_cfg(t.clone()))
+                    .unwrap()
+                    .makespan_seconds
+            })
             .collect();
         for w in times.windows(2) {
             assert!((w[0] - w[1]).abs() / w[0] < 1e-6, "{times:?}");
@@ -161,7 +172,10 @@ mod tests {
     fn too_many_tasks_rejected() {
         let cfg = ExperimentConfig {
             topology: TopologySpec::Torus { dims: vec![2, 2] },
-            workload: WorkloadSpec::Reduce { tasks: 16, bytes: 1 },
+            workload: WorkloadSpec::Reduce {
+                tasks: 16,
+                bytes: 1,
+            },
             mapping: MappingSpec::Linear,
             sim: SimConfig::default(),
             failures: None,
@@ -172,7 +186,10 @@ mod tests {
     #[test]
     fn mapping_specs_build() {
         assert_eq!(MappingSpec::Linear.build(4, 8).node_of(3).0, 3);
-        assert_eq!(MappingSpec::Strided { stride: 2 }.build(4, 8).node_of(3).0, 6);
+        assert_eq!(
+            MappingSpec::Strided { stride: 2 }.build(4, 8).node_of(3).0,
+            6
+        );
         let r = MappingSpec::Random { seed: 1 }.build(4, 8);
         assert_eq!(r.len(), 4);
     }

@@ -48,11 +48,15 @@ pub mod experiment;
 pub mod normalize;
 pub mod presets;
 pub mod scale;
+pub mod suite;
 pub mod topospec;
 
-pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, MappingSpec};
+pub use experiment::{
+    run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, MappingSpec,
+};
 pub use normalize::{normalize_to, NormalizedRow};
 pub use scale::SystemScale;
+pub use suite::{scoped_map, ExperimentSuite, SuiteReport, SuiteRun};
 pub use topospec::TopologySpec;
 
 // Re-export the subsystem crates under their natural names.
@@ -65,11 +69,16 @@ pub use exaflow_workloads as workloads;
 
 /// Everything a typical user needs.
 pub mod prelude {
-    pub use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, MappingSpec};
+    pub use crate::experiment::{
+        run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, MappingSpec,
+    };
     pub use crate::presets;
     pub use crate::scale::SystemScale;
+    pub use crate::suite::{scoped_map, ExperimentSuite, SuiteReport, SuiteRun};
     pub use crate::topospec::TopologySpec;
-    pub use exaflow_analysis::{channel_load_survey, distance_stats_exact, distance_survey, DistanceStats, LoadStats};
+    pub use exaflow_analysis::{
+        channel_load_survey, distance_stats_exact, distance_survey, DistanceStats, LoadStats,
+    };
     pub use exaflow_netgraph::{LinkId, Network, NodeId};
     pub use exaflow_sim::{FlowDag, FlowDagBuilder, SimConfig, SimReport, Simulator};
     pub use exaflow_system::{CostModel, SystemHierarchy};

@@ -54,6 +54,7 @@ mod tests {
             makespan_seconds: t,
             flows: 1,
             events: 1,
+            maxmin_iterations: 0,
             wall_seconds: 0.0,
         }
     }

@@ -64,7 +64,10 @@ pub fn heavy_workloads(scale: SystemScale) -> Vec<WorkloadSpec> {
             bytes: MIB,
             seed: 44,
         },
-        WorkloadSpec::AllReduce { tasks: n, bytes: MIB },
+        WorkloadSpec::AllReduce {
+            tasks: n,
+            bytes: MIB,
+        },
         WorkloadSpec::NBodies {
             tasks: n.min(1024),
             bytes: MIB,
@@ -170,7 +173,10 @@ mod tests {
     fn end_to_end_tiny_figure_cell() {
         // One cell of Figure 4 at 64 QFDBs: AllReduce on all four curves.
         let scale = SystemScale::new(64).unwrap();
-        let workload = WorkloadSpec::AllReduce { tasks: 64, bytes: 1 << 16 };
+        let workload = WorkloadSpec::AllReduce {
+            tasks: 64,
+            bytes: 1 << 16,
+        };
         let mut times = Vec::new();
         for spec in figure_topologies(scale, 2, 4).unwrap() {
             let res = run_experiment(&ExperimentConfig {

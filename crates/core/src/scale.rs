@@ -62,14 +62,22 @@ impl SystemScale {
     /// Number of subtori for a given `t` (errors if `t³` does not divide).
     pub fn subtori(&self, t: u32) -> Result<u64, String> {
         let sub = (t as u64).pow(3);
-        if self.qfdbs % sub != 0 {
-            return Err(format!("{} QFDBs not divisible into {t}x{t}x{t} subtori", self.qfdbs));
+        if !self.qfdbs.is_multiple_of(sub) {
+            return Err(format!(
+                "{} QFDBs not divisible into {t}x{t}x{t} subtori",
+                self.qfdbs
+            ));
         }
         Ok(self.qfdbs / sub)
     }
 
     /// The hybrid spec for `(upper, t, u)`.
-    pub fn nested_spec(&self, upper: UpperTierKind, t: u32, u: u32) -> Result<TopologySpec, String> {
+    pub fn nested_spec(
+        &self,
+        upper: UpperTierKind,
+        t: u32,
+        u: u32,
+    ) -> Result<TopologySpec, String> {
         Ok(TopologySpec::Nested {
             upper,
             subtori: self.subtori(t)?,

@@ -1,0 +1,360 @@
+//! Parallel experiment suites: run a batch of [`ExperimentConfig`]s across
+//! a scoped worker pool, isolate panics per experiment, and aggregate
+//! engine statistics into a serializable [`SuiteReport`].
+//!
+//! The pool is built on [`std::thread::scope`] only — no external executor
+//! — so suites work wherever the standard library does. Workers pull
+//! experiment indices from a shared atomic counter (work stealing by
+//! construction: a worker stuck on a slow experiment never blocks the
+//! others), and results are scattered back into **input order** no matter
+//! which worker finished first.
+//!
+//! Each experiment runs under [`std::panic::catch_unwind`]: a panicking
+//! configuration produces an `Err` entry for that experiment and leaves
+//! the rest of the suite untouched.
+//!
+//! ```
+//! use exaflow::prelude::*;
+//!
+//! let scale = SystemScale::new(64).unwrap();
+//! let configs: Vec<ExperimentConfig> = [scale.torus_spec(), scale.fattree_spec()]
+//!     .into_iter()
+//!     .map(|topology| ExperimentConfig {
+//!         topology,
+//!         workload: WorkloadSpec::AllReduce { tasks: 64, bytes: 1 << 20 },
+//!         mapping: MappingSpec::Linear,
+//!         sim: SimConfig::default(),
+//!         failures: None,
+//!     })
+//!     .collect();
+//! let run = ExperimentSuite::new(configs).threads(2).run();
+//! assert_eq!(run.results.len(), 2);
+//! assert!(run.results.iter().all(Result::is_ok));
+//! assert_eq!(run.report.succeeded, 2);
+//! ```
+
+use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A batch of experiments to run as one unit.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentSuite {
+    configs: Vec<ExperimentConfig>,
+    threads: Option<usize>,
+}
+
+/// Everything a finished suite produced: per-experiment outcomes in input
+/// order plus the aggregate [`SuiteReport`].
+#[derive(Clone, Debug)]
+pub struct SuiteRun {
+    /// One entry per submitted config, in submission order. A panicking or
+    /// invalid experiment yields `Err` without affecting its neighbours.
+    pub results: Vec<Result<ExperimentResult, String>>,
+    /// Aggregate statistics over the whole batch.
+    pub report: SuiteReport,
+}
+
+/// Aggregate statistics for one suite run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Experiments submitted.
+    pub experiments: u64,
+    /// Experiments that returned a result.
+    pub succeeded: u64,
+    /// Experiments that errored or panicked.
+    pub failed: u64,
+    /// Worker threads used.
+    pub threads: u64,
+    /// Wall-clock seconds for the whole suite.
+    pub wall_seconds: f64,
+    /// Sum of per-experiment simulation wall times — on a multi-core pool
+    /// this exceeds `wall_seconds` by roughly the parallel speedup.
+    pub experiment_wall_seconds: f64,
+    /// Total flows simulated (successful experiments).
+    pub flows: u64,
+    /// Total completion events processed (successful experiments).
+    pub events: u64,
+    /// Total progressive-filling iterations (successful experiments).
+    pub maxmin_iterations: u64,
+    /// Aggregate event throughput: `events / wall_seconds`.
+    pub events_per_second: f64,
+    /// Per-experiment wall seconds, in submission order (0 for failures
+    /// that never reached the simulator).
+    pub per_experiment_wall_seconds: Vec<f64>,
+}
+
+impl SuiteReport {
+    /// Observed parallel speedup: total simulation time over suite wall
+    /// time. ~1 on a single worker, approaching the worker count when the
+    /// experiments are uniform.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.experiment_wall_seconds / self.wall_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+impl ExperimentSuite {
+    /// A suite over `configs`, defaulting to one worker per available core.
+    pub fn new(configs: Vec<ExperimentConfig>) -> Self {
+        ExperimentSuite {
+            configs,
+            threads: None,
+        }
+    }
+
+    /// Use exactly `threads` workers (clamped to at least 1). One worker
+    /// runs the suite serially on the calling thread.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Number of experiments in the suite.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// True when the suite holds no experiments.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    fn effective_threads(&self) -> usize {
+        let requested = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        // Never spawn more workers than there is work.
+        requested.min(self.configs.len()).max(1)
+    }
+
+    /// Run every experiment and aggregate the outcome.
+    pub fn run(&self) -> SuiteRun {
+        let threads = self.effective_threads();
+        let started = Instant::now();
+        let outcomes = scoped_map(&self.configs, threads, |_, cfg| run_experiment(cfg));
+        let wall_seconds = started.elapsed().as_secs_f64();
+
+        let mut results = Vec::with_capacity(outcomes.len());
+        let mut per_wall = Vec::with_capacity(outcomes.len());
+        let (mut flows, mut events, mut iters) = (0u64, 0u64, 0u64);
+        let mut experiment_wall = 0.0;
+        for outcome in outcomes {
+            // Flatten panic (outer) and config (inner) failures into one
+            // error channel: callers see `Err` either way.
+            let entry = match outcome.value {
+                Ok(inner) => inner,
+                Err(panic_msg) => Err(panic_msg),
+            };
+            if let Ok(res) = &entry {
+                flows += res.flows;
+                events += res.events;
+                iters += res.maxmin_iterations;
+                experiment_wall += res.wall_seconds;
+                per_wall.push(res.wall_seconds);
+            } else {
+                per_wall.push(0.0);
+            }
+            results.push(entry);
+        }
+
+        let succeeded = results.iter().filter(|r| r.is_ok()).count() as u64;
+        let report = SuiteReport {
+            experiments: results.len() as u64,
+            succeeded,
+            failed: results.len() as u64 - succeeded,
+            threads: threads as u64,
+            wall_seconds,
+            experiment_wall_seconds: experiment_wall,
+            flows,
+            events,
+            maxmin_iterations: iters,
+            events_per_second: if wall_seconds > 0.0 {
+                events as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            per_experiment_wall_seconds: per_wall,
+        };
+        SuiteRun { results, report }
+    }
+}
+
+/// One entry out of [`scoped_map`].
+pub struct MapOutcome<U> {
+    /// `Ok(f(item))`, or `Err(message)` when `f` panicked.
+    pub value: Result<U, String>,
+    /// Wall-clock seconds `f` ran for this item.
+    pub wall_seconds: f64,
+}
+
+/// Apply `f` to every item on a scoped worker pool, catching panics, and
+/// return the outcomes in input order.
+///
+/// This is the primitive under [`ExperimentSuite::run`]; the table/figure
+/// binaries also use it directly to fan out grid points that are not
+/// full experiments (distance surveys, cost sweeps). With `threads == 1`
+/// everything runs serially on the calling thread — no spawn at all.
+pub fn scoped_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<MapOutcome<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let run_one = |index: usize, item: &T| {
+        let clock = Instant::now();
+        let value = catch_unwind(AssertUnwindSafe(|| f(index, item)))
+            .map_err(|payload| format!("panicked: {}", panic_message(payload.as_ref())));
+        MapOutcome {
+            value,
+            wall_seconds: clock.elapsed().as_secs_f64(),
+        }
+    };
+
+    if threads <= 1 || items.len() <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_one(i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<MapOutcome<U>>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        mine.push((i, run_one(i, item)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for worker in workers {
+            // Worker closures don't panic (user panics are caught inside
+            // run_one), so join can only fail on abort-level conditions.
+            for (i, outcome) in worker.join().expect("suite worker died") {
+                slots[i] = Some(outcome);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed by exactly one worker"))
+        .collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "opaque panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::MappingSpec;
+    use crate::topospec::TopologySpec;
+    use exaflow_sim::SimConfig;
+    use exaflow_workloads::WorkloadSpec;
+
+    fn cfg(dims: Vec<u32>, tasks: usize) -> ExperimentConfig {
+        ExperimentConfig {
+            topology: TopologySpec::Torus { dims },
+            workload: WorkloadSpec::AllReduce {
+                tasks,
+                bytes: 1 << 16,
+            },
+            mapping: MappingSpec::Linear,
+            sim: SimConfig::default(),
+            failures: None,
+        }
+    }
+
+    #[test]
+    fn empty_suite_runs() {
+        let run = ExperimentSuite::new(vec![]).run();
+        assert!(run.results.is_empty());
+        assert_eq!(run.report.experiments, 0);
+        assert_eq!(run.report.events_per_second, 0.0);
+    }
+
+    #[test]
+    fn results_in_input_order() {
+        // Distinguishable task counts so order mix-ups are visible.
+        let configs = vec![cfg(vec![4, 4], 4), cfg(vec![4, 4], 8), cfg(vec![4, 4], 16)];
+        let run = ExperimentSuite::new(configs).threads(3).run();
+        let flows: Vec<u64> = run
+            .results
+            .iter()
+            .map(|r| r.as_ref().unwrap().flows)
+            .collect();
+        // Recursive-doubling AllReduce over n tasks: n·log2(n) flows.
+        assert_eq!(flows, vec![8, 24, 64]);
+    }
+
+    #[test]
+    fn config_errors_are_isolated() {
+        // 16 tasks cannot fit a 2x2 torus; neighbours still succeed.
+        let configs = vec![cfg(vec![4, 4], 16), cfg(vec![2, 2], 16), cfg(vec![4, 4], 8)];
+        let run = ExperimentSuite::new(configs).threads(2).run();
+        assert!(run.results[0].is_ok());
+        assert!(run.results[1].is_err());
+        assert!(run.results[2].is_ok());
+        assert_eq!(run.report.succeeded, 2);
+        assert_eq!(run.report.failed, 1);
+        assert_eq!(run.report.per_experiment_wall_seconds[1], 0.0);
+    }
+
+    #[test]
+    fn scoped_map_catches_panics() {
+        let items = vec![1u32, 2, 3, 4];
+        let out = scoped_map(&items, 2, |_, &x| {
+            if x == 3 {
+                panic!("boom on {x}");
+            }
+            x * 10
+        });
+        let values: Vec<Result<u32, String>> = out.into_iter().map(|o| o.value).collect();
+        assert_eq!(values[0], Ok(10));
+        assert_eq!(values[1], Ok(20));
+        assert_eq!(values[3], Ok(40));
+        let err = values[2].as_ref().unwrap_err();
+        assert!(err.contains("boom on 3"), "{err}");
+    }
+
+    #[test]
+    fn more_threads_than_work_is_fine() {
+        let run = ExperimentSuite::new(vec![cfg(vec![4, 4], 8)])
+            .threads(64)
+            .run();
+        assert_eq!(run.report.threads, 1);
+        assert_eq!(run.report.succeeded, 1);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let run = ExperimentSuite::new(vec![cfg(vec![4, 4], 8)])
+            .threads(1)
+            .run();
+        let json = serde_json::to_string(&run.report).unwrap();
+        let back: SuiteReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.experiments, 1);
+        assert_eq!(back.events, run.report.events);
+    }
+}

@@ -1,8 +1,8 @@
 //! Declarative topology configuration.
 
 use exaflow_topo::{
-    ConnectionRule, Dragonfly, GeneralizedHypercube, Jellyfish, KAryTree, Nested, Topology,
-    Torus, UpperTierKind,
+    ConnectionRule, Dragonfly, GeneralizedHypercube, Jellyfish, KAryTree, Nested, Topology, Torus,
+    UpperTierKind,
 };
 use serde::{Deserialize, Serialize};
 
@@ -50,9 +50,7 @@ impl TopologySpec {
     pub fn num_endpoints(&self) -> usize {
         match self {
             TopologySpec::Torus { dims } => dims.iter().map(|&d| d as usize).product(),
-            TopologySpec::Fattree { k, n, endpoints } => {
-                endpoints.unwrap_or((*k as usize).pow(*n))
-            }
+            TopologySpec::Fattree { k, n, endpoints } => endpoints.unwrap_or((*k as usize).pow(*n)),
             TopologySpec::Ghc {
                 dims,
                 ports_per_router,
@@ -60,9 +58,7 @@ impl TopologySpec {
             } => endpoints.unwrap_or_else(|| {
                 dims.iter().map(|&d| d as usize).product::<usize>() * *ports_per_router as usize
             }),
-            TopologySpec::Nested { subtori, t, .. } => {
-                (*subtori as usize) * (*t as usize).pow(3)
-            }
+            TopologySpec::Nested { subtori, t, .. } => (*subtori as usize) * (*t as usize).pow(3),
             TopologySpec::Dragonfly { groups, a, p, .. } => {
                 (*groups as usize) * (*a as usize) * (*p as usize)
             }
@@ -141,7 +137,7 @@ impl TopologySpec {
                     || *endpoint_ports == 0
                     || *fabric_degree == 0
                     || *fabric_degree >= *switches
-                    || (*switches as u64 * *fabric_degree as u64) % 2 != 0
+                    || !(*switches as u64 * *fabric_degree as u64).is_multiple_of(2)
                 {
                     return Err("invalid jellyfish parameters".into());
                 }
@@ -171,8 +167,14 @@ mod tests {
     #[test]
     fn builds_every_variant() {
         let specs = [
-            TopologySpec::Torus { dims: vec![4, 4, 2] },
-            TopologySpec::Fattree { k: 4, n: 2, endpoints: None },
+            TopologySpec::Torus {
+                dims: vec![4, 4, 2],
+            },
+            TopologySpec::Fattree {
+                k: 4,
+                n: 2,
+                endpoints: None,
+            },
             TopologySpec::Ghc {
                 dims: vec![4, 4],
                 ports_per_router: 2,
@@ -184,7 +186,12 @@ mod tests {
                 t: 2,
                 u: 4,
             },
-            TopologySpec::Dragonfly { groups: 5, a: 2, p: 1, h: 2 },
+            TopologySpec::Dragonfly {
+                groups: 5,
+                a: 2,
+                p: 1,
+                h: 2,
+            },
             TopologySpec::Jellyfish {
                 switches: 10,
                 endpoint_ports: 2,

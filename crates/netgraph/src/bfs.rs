@@ -31,7 +31,11 @@ impl BfsScratch {
     /// Run BFS from `src`. If `physical_only`, virtual links are not
     /// traversed (this is the hop metric used in the paper's Table 1).
     pub fn run(&mut self, net: &Network, src: NodeId, physical_only: bool) {
-        assert_eq!(self.dist.len(), net.num_nodes(), "scratch sized for a different network");
+        assert_eq!(
+            self.dist.len(),
+            net.num_nodes(),
+            "scratch sized for a different network"
+        );
         self.dist.fill(u32::MAX);
         self.queue.clear();
         self.dist[src.index()] = 0;

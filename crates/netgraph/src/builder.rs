@@ -90,9 +90,21 @@ impl NetworkBuilder {
         (ab, ba)
     }
 
-    fn push_link(&mut self, src: NodeId, dst: NodeId, capacity_bps: f64, is_virtual: bool) -> LinkId {
-        assert!(src.index() < self.kinds.len(), "link src {src} out of range");
-        assert!(dst.index() < self.kinds.len(), "link dst {dst} out of range");
+    fn push_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity_bps: f64,
+        is_virtual: bool,
+    ) -> LinkId {
+        assert!(
+            src.index() < self.kinds.len(),
+            "link src {src} out of range"
+        );
+        assert!(
+            dst.index() < self.kinds.len(),
+            "link dst {dst} out of range"
+        );
         assert!(src != dst, "self-loop links are not allowed ({src})");
         assert!(
             capacity_bps.is_finite() && capacity_bps > 0.0,

@@ -76,7 +76,11 @@ pub fn to_dot(net: &Network, opts: &DotOptions) -> String {
                 continue;
             }
         }
-        let style = if link.is_virtual { " [style=dashed]" } else { "" };
+        let style = if link.is_virtual {
+            " [style=dashed]"
+        } else {
+            ""
+        };
         writeln!(
             out,
             "  n{} {edge} n{}{style};",

@@ -235,11 +235,7 @@ mod tests {
         b.add_link(e3, e0, 1.0);
         b.add_link(e3, e1, 1.0);
         let n = b.build();
-        let dsts: Vec<u32> = n
-            .out_links(e3)
-            .iter()
-            .map(|&l| n.link(l).dst.0)
-            .collect();
+        let dsts: Vec<u32> = n.out_links(e3).iter().map(|&l| n.link(l).dst.0).collect();
         assert_eq!(dsts, vec![0, 1, 2]);
     }
 

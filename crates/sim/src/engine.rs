@@ -144,10 +144,9 @@ impl<'a> Simulator<'a> {
 
         // Per-flow state.
         let mut remaining: Vec<f64> = dag.flows().iter().map(|f| f.bytes as f64 * 8.0).collect();
-        let mut indeg: Vec<u32> = vec![0; n];
-        for f in 0..n {
-            indeg[f] = dag.preds(FlowId(f as u32)).len() as u32;
-        }
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|f| dag.preds(FlowId(f as u32)).len() as u32)
+            .collect();
         let mut completion_times = if self.cfg.record_flow_times {
             vec![f64::NAN; n]
         } else {
@@ -214,9 +213,8 @@ impl<'a> Simulator<'a> {
                     if latency_model {
                         // Physical hops = path minus the two NIC resources.
                         let hops = path.len().saturating_sub(2) as f64;
-                        let at = now
-                            + self.cfg.startup_latency_s
-                            + hops * self.cfg.per_hop_latency_s;
+                        let at =
+                            now + self.cfg.startup_latency_s + hops * self.cfg.per_hop_latency_s;
                         delayed.push(Reverse((Time(at), f)));
                         delayed_paths.insert(f, path);
                     } else {
@@ -578,7 +576,9 @@ mod tests {
                 cache_routes: cache,
                 ..SimConfig::default()
             };
-            Simulator::with_config(&topo, cfg).run(&dag).makespan_seconds
+            Simulator::with_config(&topo, cfg)
+                .run(&dag)
+                .makespan_seconds
         };
         assert_eq!(run(true), run(false));
     }
@@ -676,7 +676,10 @@ mod tests {
         let total: f64 = bytes.iter().sum();
         // Flow 1 crosses 4 resources with 1 MB, flow 2 crosses 3 with 2 MB.
         let expect = (4 * mb(1) + 3 * mb(2)) as f64;
-        assert!((total - expect).abs() / expect < 1e-9, "{total} vs {expect}");
+        assert!(
+            (total - expect).abs() / expect < 1e-9,
+            "{total} vs {expect}"
+        );
         // The busiest physical link carried 2 MB.
         let hottest = r.hottest_links(1);
         assert_eq!(hottest.len(), 1);

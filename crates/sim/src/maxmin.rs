@@ -107,8 +107,8 @@ impl MaxMinSolver {
         self.heap.clear();
 
         // Pass 1: count flows per resource.
-        for f in 0..num_flows {
-            for &r in paths[f].as_ref() {
+        for path in paths.iter().take(num_flows) {
+            for &r in path.as_ref() {
                 let ri = r as usize;
                 if self.count[ri] == 0 {
                     self.touched.push(r);
@@ -122,8 +122,7 @@ impl MaxMinSolver {
         self.res_flow_offsets.clear();
         self.res_flow_offsets.resize(self.touched.len() + 1, 0);
         for (i, &r) in self.touched.iter().enumerate() {
-            self.res_flow_offsets[i + 1] =
-                self.res_flow_offsets[i] + self.count[r as usize];
+            self.res_flow_offsets[i + 1] = self.res_flow_offsets[i] + self.count[r as usize];
             // flow_start doubles as the touched-index lookup for resource r.
             self.flow_start[r as usize] = i as u32;
         }
@@ -131,8 +130,8 @@ impl MaxMinSolver {
         self.res_flows.clear();
         self.res_flows.resize(total, 0);
         let mut cursor: Vec<u32> = self.res_flow_offsets[..self.touched.len()].to_vec();
-        for f in 0..num_flows {
-            for &r in paths[f].as_ref() {
+        for (f, path) in paths.iter().enumerate().take(num_flows) {
+            for &r in path.as_ref() {
                 let ti = self.flow_start[r as usize] as usize;
                 self.res_flows[cursor[ti] as usize] = f as u32;
                 cursor[ti] += 1;

@@ -9,11 +9,14 @@ use proptest::prelude::*;
 
 /// Random DAG: flows with random endpoints/sizes; each flow may depend on
 /// up to two earlier flows.
-fn random_dag(
-    eps: u32,
-) -> impl Strategy<Value = Vec<(u32, u32, u64, Vec<usize>)>> {
+fn random_dag(eps: u32) -> impl Strategy<Value = Vec<(u32, u32, u64, Vec<usize>)>> {
     prop::collection::vec(
-        (0..eps, 0..eps, 1u64..1_000_000, prop::collection::vec(any::<usize>(), 0..3)),
+        (
+            0..eps,
+            0..eps,
+            1u64..1_000_000,
+            prop::collection::vec(any::<usize>(), 0..3),
+        ),
         1..40,
     )
 }

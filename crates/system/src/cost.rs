@@ -130,7 +130,11 @@ mod tests {
                 ghc,
                 "GHC u={u}"
             );
-            assert_eq!(m.paper_switch_count(UpperTier::Fattree, N, u), tree, "tree u={u}");
+            assert_eq!(
+                m.paper_switch_count(UpperTier::Fattree, N, u),
+                tree,
+                "tree u={u}"
+            );
         }
     }
 
@@ -146,8 +150,16 @@ mod tests {
         ];
         for (u, cost, power) in rows {
             let o = m.paper_overheads(UpperTier::Fattree, N, u);
-            assert!(approx(o.cost_increase_pct, cost), "u={u}: {}", o.cost_increase_pct);
-            assert!(approx(o.power_increase_pct, power), "u={u}: {}", o.power_increase_pct);
+            assert!(
+                approx(o.cost_increase_pct, cost),
+                "u={u}: {}",
+                o.cost_increase_pct
+            );
+            assert!(
+                approx(o.power_increase_pct, power),
+                "u={u}: {}",
+                o.power_increase_pct
+            );
         }
         // GHC at u=1: 4.69% / 1.56%.
         let g = m.paper_overheads(UpperTier::GeneralizedHypercube, N, 1);

@@ -71,7 +71,7 @@ impl ConnectionRule {
     pub fn is_uplinked(self, coords: &[u32]) -> bool {
         match self {
             ConnectionRule::EveryNode => true,
-            ConnectionRule::HalfNodes => coords[0] % 2 == 0,
+            ConnectionRule::HalfNodes => coords[0].is_multiple_of(2),
             ConnectionRule::QuarterNodes => {
                 // Opposite vertices of the 2x2x2 subgrid: parity (0,0,..,0)
                 // or (1,1,..,1).
@@ -212,12 +212,7 @@ mod tests {
             for rule in ConnectionRule::all() {
                 let map = UplinkMap::new(&shape, rule);
                 let expect = (t * t * t) / rule.u();
-                assert_eq!(
-                    map.num_uplinks() as u32,
-                    expect,
-                    "t={t} u={}",
-                    rule.u()
-                );
+                assert_eq!(map.num_uplinks() as u32, expect, "t={t} u={}", rule.u());
             }
         }
     }
@@ -260,11 +255,7 @@ mod tests {
             shape.decode_into(i, &mut coords);
             let t = map.target(i as u32);
             let tc = shape.decode(t as u64);
-            let hops: u32 = coords
-                .iter()
-                .zip(&tc)
-                .map(|(&a, &b)| a.abs_diff(b))
-                .sum();
+            let hops: u32 = coords.iter().zip(&tc).map(|(&a, &b)| a.abs_diff(b)).sum();
             assert!(hops <= 1, "node {coords:?} target {tc:?} is {hops} hops");
         }
     }
@@ -276,13 +267,9 @@ mod tests {
         let mut coords = Vec::new();
         for i in 0..shape.len() {
             shape.decode_into(i, &mut coords);
-            let t = map.target(i as u64 as u32);
+            let t = map.target(i as u32);
             let tc = shape.decode(t as u64);
-            let hops: u32 = coords
-                .iter()
-                .zip(&tc)
-                .map(|(&a, &b)| a.abs_diff(b))
-                .sum();
+            let hops: u32 = coords.iter().zip(&tc).map(|(&a, &b)| a.abs_diff(b)).sum();
             assert!(hops <= 3);
             assert!(tc.iter().all(|&c| c % 2 == 0));
         }

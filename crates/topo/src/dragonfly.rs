@@ -72,11 +72,7 @@ impl Dragonfly {
         let mut ep_down = vec![0u32; eps as usize];
         for e in 0..eps as u32 {
             let router = e / p;
-            let (up, down) = b.add_duplex(
-                NodeId(e),
-                NodeId(router_base + router),
-                capacity_bps,
-            );
+            let (up, down) = b.add_duplex(NodeId(e), NodeId(router_base + router), capacity_bps);
             ep_up[e as usize] = up.0;
             ep_down[e as usize] = down.0;
         }
@@ -275,7 +271,11 @@ mod tests {
         for s in 0..d1.num_endpoints() as u32 {
             let bfs = bfs_distances_physical(d1.network(), NodeId(s));
             for t in 0..d1.num_endpoints() as u32 {
-                assert_eq!(d1.distance(NodeId(s), NodeId(t)), bfs[t as usize], "({s},{t})");
+                assert_eq!(
+                    d1.distance(NodeId(s), NodeId(t)),
+                    bfs[t as usize],
+                    "({s},{t})"
+                );
             }
         }
     }

@@ -187,7 +187,11 @@ impl GeneralizedHypercube {
     /// Build a fully-populated GHC at 10 Gbps.
     pub fn new(dims: &[u32], ports_per_router: u32) -> Self {
         let routers = MixedRadix::new(dims).len();
-        Self::with_endpoints(dims, ports_per_router, (routers * ports_per_router as u64) as usize)
+        Self::with_endpoints(
+            dims,
+            ports_per_router,
+            (routers * ports_per_router as u64) as usize,
+        )
     }
 
     /// Build with only the first `num_eps` ports populated.

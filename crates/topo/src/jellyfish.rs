@@ -56,7 +56,7 @@ impl Jellyfish {
             "fabric degree {fabric_degree} must be in 1..{switches}"
         );
         assert!(
-            (switches as u64 * fabric_degree as u64) % 2 == 0,
+            (switches as u64 * fabric_degree as u64).is_multiple_of(2),
             "total fabric degree must be even"
         );
         let edges = random_regular_graph(switches, fabric_degree, seed);
@@ -172,7 +172,9 @@ impl Jellyfish {
 fn random_regular_graph(n: u32, r: u32, seed: u64) -> Vec<(u32, u32)> {
     for attempt in 0..64u64 {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt));
-        let mut stubs: Vec<u32> = (0..n).flat_map(|v| std::iter::repeat_n(v, r as usize)).collect();
+        let mut stubs: Vec<u32> = (0..n)
+            .flat_map(|v| std::iter::repeat_n(v, r as usize))
+            .collect();
         stubs.shuffle(&mut rng);
         let mut edges: Vec<(u32, u32)> = stubs
             .chunks_exact(2)
@@ -285,7 +287,11 @@ mod tests {
         for s in [0u32, 4, 9] {
             let bfs = bfs_distances_physical(j.network(), NodeId(s));
             for d in 0..j.num_endpoints() as u32 {
-                assert_eq!(j.distance(NodeId(s), NodeId(d)), bfs[d as usize], "({s},{d})");
+                assert_eq!(
+                    j.distance(NodeId(s), NodeId(d)),
+                    bfs[d as usize],
+                    "({s},{d})"
+                );
             }
         }
     }
@@ -304,7 +310,7 @@ mod tests {
     fn regular_graph_is_simple_and_regular() {
         let edges = random_regular_graph(20, 5, 42);
         assert_eq!(edges.len(), 50);
-        let mut deg = vec![0u32; 20];
+        let mut deg = [0u32; 20];
         let mut seen = std::collections::HashSet::new();
         for &(x, y) in &edges {
             assert_ne!(x, y, "self-loop");

@@ -46,7 +46,13 @@ impl TreeTier {
     /// the first `ports.len()` tree ports in order.
     ///
     /// Panics if `ports.len()` exceeds `k^n` or is zero.
-    pub fn build_into(b: &mut NetworkBuilder, k: u32, n: u32, ports: &[NodeId], capacity_bps: f64) -> Self {
+    pub fn build_into(
+        b: &mut NetworkBuilder,
+        k: u32,
+        n: u32,
+        ports: &[NodeId],
+        capacity_bps: f64,
+    ) -> Self {
         Self::build_into_oversubscribed(b, k, n, ports, capacity_bps, 1.0)
     }
 
@@ -82,9 +88,8 @@ impl TreeTier {
         let words = (k as u64).pow(n - 1);
         let switch_base = b.num_nodes() as u32;
         b.add_switches((n as u64 * words) as usize);
-        let switch_id = |l: u32, w: u64| -> NodeId {
-            NodeId(switch_base + (l as u64 * words + w) as u32)
-        };
+        let switch_id =
+            |l: u32, w: u64| -> NodeId { NodeId(switch_base + (l as u64 * words + w) as u32) };
         let mut ep_up = vec![0u32; ports.len()];
         let mut ep_down = vec![0u32; ports.len()];
         for (p, &node) in ports.iter().enumerate() {
@@ -102,8 +107,7 @@ impl TreeTier {
                 let wl = (w / stride) % k as u64;
                 for v in 0..k as u64 {
                     let w_up = (w as i64 + (v as i64 - wl as i64) * stride as i64) as u64;
-                    let (a, bk) =
-                        b.add_duplex(switch_id(l, w), switch_id(l + 1, w_up), fabric_bps);
+                    let (a, bk) = b.add_duplex(switch_id(l, w), switch_id(l + 1, w_up), fabric_bps);
                     up[((l as u64 * words + w) * k as u64 + v) as usize] = a.0;
                     down[((l as u64 * words + w_up) * k as u64 + wl) as usize] = bk.0;
                 }
@@ -315,8 +319,7 @@ impl KAryTree {
         if self.tier.num_ports <= 1 {
             return 0;
         }
-        self.tier
-            .distance_ports(0, self.tier.num_ports as u64 - 1)
+        self.tier.distance_ports(0, self.tier.num_ports as u64 - 1)
     }
 
     /// Exact average port-to-port distance over ordered pairs of populated
@@ -421,7 +424,11 @@ mod tests {
         for s in [0u32, 5, 15] {
             let bfs = bfs_distances_physical(t.network(), NodeId(s));
             for d in 0..t.num_endpoints() as u32 {
-                assert_eq!(t.distance(NodeId(s), NodeId(d)), bfs[d as usize], "({s},{d})");
+                assert_eq!(
+                    t.distance(NodeId(s), NodeId(d)),
+                    bfs[d as usize],
+                    "({s},{d})"
+                );
             }
         }
     }
@@ -524,7 +531,10 @@ mod tests {
     fn routing_is_deterministic() {
         let t = KAryTree::new(5, 3);
         for (s, d) in [(0u32, 99u32), (37, 11), (124, 0)] {
-            assert_eq!(t.route_vec(NodeId(s), NodeId(d)), t.route_vec(NodeId(s), NodeId(d)));
+            assert_eq!(
+                t.route_vec(NodeId(s), NodeId(d)),
+                t.route_vec(NodeId(s), NodeId(d))
+            );
         }
     }
 

@@ -179,8 +179,8 @@ mod tests {
         let m = MixedRadix::new(&[5, 7, 3]);
         for i in (0..m.len()).step_by(11) {
             let c = m.decode(i);
-            for d in 0..3 {
-                assert_eq!(m.coord(i, d), c[d]);
+            for (d, &expect) in c.iter().enumerate() {
+                assert_eq!(m.coord(i, d), expect);
             }
         }
     }
@@ -232,7 +232,7 @@ mod tests {
         let d = near_equal_dims(8192, 4);
         let product: u64 = d.iter().map(|&x| x as u64).product();
         assert!(product >= 8192);
-        assert!(d.iter().all(|&x| x >= 9 && x <= 10));
+        assert!(d.iter().all(|&x| (9..=10).contains(&x)));
         let d1 = near_equal_dims(17, 1);
         assert_eq!(d1, vec![17]);
         let d2 = near_equal_dims(1, 3);

@@ -142,7 +142,10 @@ impl Nested {
         let sub_shape = MixedRadix::new(&[t, t, t]);
         let sub_size = sub_shape.len();
         let n = num_subtori * sub_size;
-        assert!(n <= u32::MAX as u64 / 2, "system too large for u32 node ids");
+        assert!(
+            n <= u32::MAX as u64 / 2,
+            "system too large for u32 node ids"
+        );
         let uplink_map = UplinkMap::new(&sub_shape, rule);
         let uplinks_per_sub = uplink_map.num_uplinks() as u64;
         let total_uplinks = num_subtori * uplinks_per_sub;
@@ -349,7 +352,9 @@ impl Topology for Nested {
             );
         }
         self.hops_to_uplink(src)
-            + self.upper.distance_ports(self.port_of(src), self.port_of(dst))
+            + self
+                .upper
+                .distance_ports(self.port_of(src), self.port_of(dst))
             + self.hops_to_uplink(dst)
     }
 }
@@ -479,11 +484,19 @@ mod tests {
     fn distance_symmetric_for_symmetric_rules() {
         // u=1: distance should be symmetric (both directions pure upper
         // tier + equal torus segments).
-        let n = Nested::new(UpperTierKind::GeneralizedHypercube, 8, 2, ConnectionRule::EveryNode);
+        let n = Nested::new(
+            UpperTierKind::GeneralizedHypercube,
+            8,
+            2,
+            ConnectionRule::EveryNode,
+        );
         let e = n.num_endpoints() as u32;
         for s in (0..e).step_by(5) {
             for d in (0..e).step_by(7) {
-                assert_eq!(n.distance(NodeId(s), NodeId(d)), n.distance(NodeId(d), NodeId(s)));
+                assert_eq!(
+                    n.distance(NodeId(s), NodeId(d)),
+                    n.distance(NodeId(d), NodeId(s))
+                );
             }
         }
     }

@@ -219,7 +219,13 @@ impl Topology for Torus {
     }
 
     fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>) {
-        grid::route(&self.shape, &self.link_table, src.0 as u64, dst.0 as u64, path);
+        grid::route(
+            &self.shape,
+            &self.link_table,
+            src.0 as u64,
+            dst.0 as u64,
+            path,
+        );
     }
 
     fn distance(&self, src: NodeId, dst: NodeId) -> u32 {

@@ -70,8 +70,10 @@ impl Workload for AllReduce {
         );
         assert!(mapping.len() >= self.tasks);
         let rounds = self.tasks.trailing_zeros();
-        let mut b =
-            FlowDagBuilder::with_capacity(self.tasks * rounds as usize, 2 * self.tasks * rounds as usize);
+        let mut b = FlowDagBuilder::with_capacity(
+            self.tasks * rounds as usize,
+            2 * self.tasks * rounds as usize,
+        );
         // send[i] / recv[i]: previous round's flows touching task i.
         let mut send: Vec<Option<FlowId>> = vec![None; self.tasks];
         let mut recv: Vec<Option<FlowId>> = vec![None; self.tasks];
@@ -95,11 +97,7 @@ impl Workload for AllReduce {
                 new_send[i] = Some(f);
             }
             // The flow i received in this round is partner's send.
-            let mut new_recv = vec![None; self.tasks];
-            for i in 0..self.tasks {
-                let partner = i ^ (1 << r);
-                new_recv[i] = new_send[partner];
-            }
+            let new_recv: Vec<_> = (0..self.tasks).map(|i| new_send[i ^ (1 << r)]).collect();
             send = new_send;
             recv = new_recv;
         }
@@ -118,7 +116,10 @@ mod tests {
 
     #[test]
     fn reduce_shape() {
-        let w = Reduce { tasks: 8, bytes: 100 };
+        let w = Reduce {
+            tasks: 8,
+            bytes: 100,
+        };
         let dag = w.generate(&map(8));
         assert_eq!(dag.len(), 7);
         assert_eq!(dag.num_edges(), 0);
@@ -131,7 +132,10 @@ mod tests {
 
     #[test]
     fn allreduce_shape() {
-        let w = AllReduce { tasks: 8, bytes: 64 };
+        let w = AllReduce {
+            tasks: 8,
+            bytes: 64,
+        };
         let dag = w.generate(&map(8));
         // 3 rounds x 8 flows.
         assert_eq!(dag.len(), 24);

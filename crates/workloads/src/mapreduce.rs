@@ -40,9 +40,8 @@ impl Workload for MapReduce {
 
         // Phase 1: distribute. Root sends partition to every worker.
         let mut distribute: Vec<Option<FlowId>> = vec![None; n];
-        for t in 1..n {
-            let f = b.add_flow(root, mapping.node_of(t), self.distribute_bytes, &[]);
-            distribute[t] = Some(f);
+        for (t, slot) in distribute.iter_mut().enumerate().skip(1) {
+            *slot = Some(b.add_flow(root, mapping.node_of(t), self.distribute_bytes, &[]));
         }
 
         // Phase 2: shuffle. Worker i sends to every j != i, serialised per
@@ -51,24 +50,24 @@ impl Workload for MapReduce {
         let mut shuffle_in: Vec<Vec<FlowId>> = vec![Vec::with_capacity(n - 1); n];
         let mut last_send: Vec<Option<FlowId>> = distribute.clone();
         for step in 1..n {
-            for i in 0..n {
+            for (i, last) in last_send.iter_mut().enumerate() {
                 let j = (i + step) % n;
-                let deps: Vec<FlowId> = last_send[i].into_iter().collect();
+                let deps: Vec<FlowId> = (*last).into_iter().collect();
                 let f = b.add_flow(
                     mapping.node_of(i),
                     mapping.node_of(j),
                     self.shuffle_bytes,
                     &deps,
                 );
-                last_send[i] = Some(f);
+                *last = Some(f);
                 shuffle_in[j].push(f);
             }
         }
 
         // Phase 3: gather. Worker j reduces what it received and reports to
         // the root; gated on all shuffle flows into j.
-        for j in 1..n {
-            b.add_flow(mapping.node_of(j), root, self.gather_bytes, &shuffle_in[j]);
+        for (j, inflows) in shuffle_in.iter().enumerate().skip(1) {
+            b.add_flow(mapping.node_of(j), root, self.gather_bytes, inflows);
         }
         b.build()
     }

@@ -31,7 +31,12 @@ pub enum WorkloadSpec {
         gather_bytes: u64,
     },
     /// Single diagonal wavefront over a 3-D task grid.
-    Sweep3d { gx: u32, gy: u32, gz: u32, bytes: u64 },
+    Sweep3d {
+        gx: u32,
+        gy: u32,
+        gz: u32,
+        bytes: u64,
+    },
     /// Pipelined wavefronts from one corner.
     Flood {
         gx: u32,

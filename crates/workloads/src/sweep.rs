@@ -30,7 +30,14 @@ impl Workload for Sweep3d {
     fn generate(&self, mapping: &TaskMapping) -> FlowDag {
         assert!(mapping.len() >= self.grid.len());
         let mut b = FlowDagBuilder::with_capacity(3 * self.grid.len(), 9 * self.grid.len());
-        emit_wave(&mut b, &self.grid, mapping, self.bytes, &mut vec![Vec::new(); self.grid.len()], None);
+        emit_wave(
+            &mut b,
+            &self.grid,
+            mapping,
+            self.bytes,
+            &mut vec![Vec::new(); self.grid.len()],
+            None,
+        );
         b.build()
     }
 }
@@ -61,8 +68,10 @@ impl Workload for Flood {
         assert!(self.waves >= 1, "Flood needs at least one wave");
         assert!(mapping.len() >= self.grid.len());
         let n = self.grid.len();
-        let mut b =
-            FlowDagBuilder::with_capacity(3 * n * self.waves as usize, 12 * n * self.waves as usize);
+        let mut b = FlowDagBuilder::with_capacity(
+            3 * n * self.waves as usize,
+            12 * n * self.waves as usize,
+        );
         // For pipelining, a task's wave-w sends additionally depend on its
         // wave-(w-1) sends (it must finish forwarding the previous wave).
         let mut prev_out: Option<Vec<Vec<FlowId>>> = None;
@@ -196,7 +205,12 @@ impl Workload for NearNeighbors {
             for (x, y, z) in self.grid.iter() {
                 let t = self.grid.id(x, y, z);
                 for nb in self.neighbours(x, y, z) {
-                    let f = b.add_flow(mapping.node_of(t), mapping.node_of(nb), self.bytes, &prev[t]);
+                    let f = b.add_flow(
+                        mapping.node_of(t),
+                        mapping.node_of(nb),
+                        self.bytes,
+                        &prev[t],
+                    );
                     cur_send[t].push(f);
                     cur_recv[nb].push(f);
                 }
@@ -247,8 +261,18 @@ mod tests {
     #[test]
     fn flood_scales_with_waves() {
         let g = Grid3::new(3, 3, 1);
-        let one = Flood { grid: g, bytes: 1, waves: 1 }.generate(&map(9));
-        let four = Flood { grid: g, bytes: 1, waves: 4 }.generate(&map(9));
+        let one = Flood {
+            grid: g,
+            bytes: 1,
+            waves: 1,
+        }
+        .generate(&map(9));
+        let four = Flood {
+            grid: g,
+            bytes: 1,
+            waves: 4,
+        }
+        .generate(&map(9));
         assert_eq!(four.len(), 4 * one.len());
         // Pipelining: wave 2's corner flows depend on wave 1's corner flows.
         let per_wave = one.len();

@@ -39,7 +39,7 @@ impl Workload for UnstructuredApp {
             mapping,
             self.seed,
             |_rng| self.bytes,
-            |rng, src, n| uniform_other(rng, src, n),
+            uniform_other,
         )
     }
 }
@@ -94,7 +94,7 @@ impl Workload for UnstructuredMgnt {
             mapping,
             self.seed,
             mgnt_flow_bytes,
-            |rng, src, n| uniform_other(rng, src, n),
+            uniform_other,
         )
     }
 }
@@ -180,7 +180,10 @@ impl Workload for Bisection {
     }
 
     fn generate(&self, mapping: &TaskMapping) -> FlowDag {
-        assert!(self.tasks >= 2 && self.tasks % 2 == 0, "Bisection needs an even task count");
+        assert!(
+            self.tasks >= 2 && self.tasks.is_multiple_of(2),
+            "Bisection needs an even task count"
+        );
         assert!(self.rounds >= 1);
         assert!(mapping.len() >= self.tasks);
         let n = self.tasks;
@@ -225,17 +228,12 @@ fn random_pairs(
     let mut last: Vec<Option<FlowId>> = vec![None; tasks];
     // Round-robin the senders so flow ids interleave fairly.
     for _ in 0..flows_per_task {
-        for src in 0..tasks {
+        for (src, slot) in last.iter_mut().enumerate() {
             let dst = pick_dst(&mut rng, src, tasks);
             debug_assert_ne!(dst, src);
             let bytes = size_of(&mut rng);
-            let deps: Vec<FlowId> = last[src].into_iter().collect();
-            last[src] = Some(b.add_flow(
-                mapping.node_of(src),
-                mapping.node_of(dst),
-                bytes,
-                &deps,
-            ));
+            let deps: Vec<FlowId> = (*slot).into_iter().collect();
+            *slot = Some(b.add_flow(mapping.node_of(src), mapping.node_of(dst), bytes, &deps));
         }
     }
     b.build()
@@ -296,7 +294,10 @@ mod tests {
         let mice = sizes.iter().filter(|&&s| s <= 10_000).count() as f64 / 20_000.0;
         let elephants = sizes.iter().filter(|&&s| s >= 1_000_000).count() as f64 / 20_000.0;
         assert!((mice - 0.8).abs() < 0.02, "mice fraction {mice}");
-        assert!((elephants - 0.05).abs() < 0.01, "elephant fraction {elephants}");
+        assert!(
+            (elephants - 0.05).abs() < 0.01,
+            "elephant fraction {elephants}"
+        );
         assert!(sizes.iter().all(|&s| (100..=50_000_000).contains(&s)));
     }
 

@@ -8,8 +8,14 @@ use proptest::prelude::*;
 fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
     let tasks = 2usize..40;
     prop_oneof![
-        tasks.clone().prop_map(|t| WorkloadSpec::Reduce { tasks: t, bytes: 100 }),
-        (1u32..6).prop_map(|p| WorkloadSpec::AllReduce { tasks: 1 << p, bytes: 100 }),
+        tasks.clone().prop_map(|t| WorkloadSpec::Reduce {
+            tasks: t,
+            bytes: 100
+        }),
+        (1u32..6).prop_map(|p| WorkloadSpec::AllReduce {
+            tasks: 1 << p,
+            bytes: 100
+        }),
         tasks.clone().prop_map(|t| WorkloadSpec::MapReduce {
             tasks: t,
             distribute_bytes: 10,
@@ -17,31 +23,62 @@ fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
             gather_bytes: 10,
         }),
         (1u32..5, 1u32..5, 1u32..5).prop_map(|(x, y, z)| WorkloadSpec::Sweep3d {
-            gx: x, gy: y, gz: z, bytes: 10,
+            gx: x,
+            gy: y,
+            gz: z,
+            bytes: 10,
         }),
         (1u32..4, 1u32..4, 1u32..4, 1u32..4).prop_map(|(x, y, z, w)| WorkloadSpec::Flood {
-            gx: x, gy: y, gz: z, bytes: 10, waves: w,
+            gx: x,
+            gy: y,
+            gz: z,
+            bytes: 10,
+            waves: w,
         }),
-        (1u32..5, 1u32..5, 1u32..5, 1u32..3, any::<bool>()).prop_map(
-            |(x, y, z, it, p)| WorkloadSpec::NearNeighbors {
-                gx: x, gy: y, gz: z, bytes: 10, iterations: it, periodic: p,
+        (1u32..5, 1u32..5, 1u32..5, 1u32..3, any::<bool>()).prop_map(|(x, y, z, it, p)| {
+            WorkloadSpec::NearNeighbors {
+                gx: x,
+                gy: y,
+                gz: z,
+                bytes: 10,
+                iterations: it,
+                periodic: p,
             }
-        ),
-        tasks.clone().prop_map(|t| WorkloadSpec::NBodies { tasks: t.max(2), bytes: 10 }),
-        (tasks.clone(), 1usize..5, any::<u64>()).prop_map(|(t, f, s)| {
-            WorkloadSpec::UnstructuredApp { tasks: t, flows_per_task: f, bytes: 10, seed: s }
+        }),
+        tasks.clone().prop_map(|t| WorkloadSpec::NBodies {
+            tasks: t.max(2),
+            bytes: 10
         }),
         (tasks.clone(), 1usize..5, any::<u64>()).prop_map(|(t, f, s)| {
-            WorkloadSpec::UnstructuredMgnt { tasks: t, flows_per_task: f, seed: s }
+            WorkloadSpec::UnstructuredApp {
+                tasks: t,
+                flows_per_task: f,
+                bytes: 10,
+                seed: s,
+            }
+        }),
+        (tasks.clone(), 1usize..5, any::<u64>()).prop_map(|(t, f, s)| {
+            WorkloadSpec::UnstructuredMgnt {
+                tasks: t,
+                flows_per_task: f,
+                seed: s,
+            }
         }),
         (tasks.clone(), 1usize..5, any::<u64>()).prop_map(|(t, f, s)| {
             WorkloadSpec::UnstructuredHr {
-                tasks: t, flows_per_task: f, bytes: 10,
-                hot_fraction: 0.25, hot_probability: 0.5, seed: s,
+                tasks: t,
+                flows_per_task: f,
+                bytes: 10,
+                hot_fraction: 0.25,
+                hot_probability: 0.5,
+                seed: s,
             }
         }),
         (1usize..20, 1u32..4, any::<u64>()).prop_map(|(t, r, s)| WorkloadSpec::Bisection {
-            tasks: 2 * t, rounds: r, bytes: 10, seed: s,
+            tasks: 2 * t,
+            rounds: r,
+            bytes: 10,
+            seed: s,
         }),
     ]
 }

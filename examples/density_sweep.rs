@@ -32,7 +32,10 @@ fn main() {
     .unwrap()
     .makespan_seconds;
 
-    println!("UnstructuredApp at {} QFDBs, normalised to the fattree baseline", scale.qfdbs);
+    println!(
+        "UnstructuredApp at {} QFDBs, normalised to the fattree baseline",
+        scale.qfdbs
+    );
     println!(
         "{:<24} {:>10} {:>12} {:>12}",
         "topology", "norm.time", "switches*", "cost over torus"

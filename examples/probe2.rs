@@ -3,11 +3,23 @@ use exaflow::topo::ConnectionRule;
 fn main() {
     for kind in [UpperTierKind::GeneralizedHypercube, UpperTierKind::Fattree] {
         let n = Nested::new(kind, 64, 2, ConnectionRule::HalfNodes);
-        println!("{}: {} uplinks, {} upper switches", n.name(), n.num_uplinks(), n.num_upper_switches());
-        let w = WorkloadSpec::AllReduce { tasks: 512, bytes: 1<<20 };
+        println!(
+            "{}: {} uplinks, {} upper switches",
+            n.name(),
+            n.num_uplinks(),
+            n.num_upper_switches()
+        );
+        let w = WorkloadSpec::AllReduce {
+            tasks: 512,
+            bytes: 1 << 20,
+        };
         let mapping = TaskMapping::linear(512, 512);
         let dag = w.generate(&mapping);
         let r = Simulator::new(&n).run(&dag);
-        println!("  AllReduce makespan {:.3} ms, {} events", r.makespan_seconds*1e3, r.events);
+        println!(
+            "  AllReduce makespan {:.3} ms, {} events",
+            r.makespan_seconds * 1e3,
+            r.events
+        );
     }
 }

@@ -1,6 +1,6 @@
 use exaflow::prelude::*;
-use exaflow::topo::ConnectionRule;
 use exaflow::sim::FlowDagBuilder;
+use exaflow::topo::ConnectionRule;
 fn main() {
     let n = Nested::new(UpperTierKind::Fattree, 64, 2, ConnectionRule::HalfNodes);
     // single round: every node exchanges with partner id^256 (remote).
@@ -9,7 +9,10 @@ fn main() {
         b.add_flow(NodeId(i), NodeId(i ^ 256), 1 << 20, &[]);
     }
     let r = Simulator::new(&n).run(&b.build());
-    println!("one remote round: {:.3} ms (ideal 0.839, 2x-oversub 1.678)", r.makespan_seconds * 1e3);
+    println!(
+        "one remote round: {:.3} ms (ideal 0.839, 2x-oversub 1.678)",
+        r.makespan_seconds * 1e3
+    );
     // check a path: flow from node 1 (non-uplinked) to 257
     let p = n.route_vec(NodeId(1), NodeId(257));
     for lid in &p {

@@ -12,11 +12,14 @@ fn main() {
     let max = counts.values().max().unwrap();
     println!("max flows on one link: {max}");
     // show the worst links
-    let mut v: Vec<_> = counts.iter().filter(|(_,&c)| c == *max).collect();
+    let mut v: Vec<_> = counts.iter().filter(|(_, &c)| c == *max).collect();
     v.sort();
     for (lid, c) in v.iter().take(6) {
         let l = n.network().link(LinkId(**lid));
-        println!("  link {} -> {}: {} flows (virtual={})", l.src, l.dst, c, l.is_virtual);
+        println!(
+            "  link {} -> {}: {} flows (virtual={})",
+            l.src, l.dst, c, l.is_virtual
+        );
     }
     println!("(endpoints 0..511; switches 512.. ; leaf switches first)");
 }

@@ -19,7 +19,11 @@ fn main() {
         bytes: 1 << 20,
     };
 
-    println!("workload: {} over {} tasks\n", workload.name(), workload.num_tasks());
+    println!(
+        "workload: {} over {} tasks\n",
+        workload.name(),
+        workload.num_tasks()
+    );
     for spec in [hybrid, scale.fattree_spec(), scale.torus_spec()] {
         let result = run_experiment(&ExperimentConfig {
             topology: spec,

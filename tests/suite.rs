@@ -1,0 +1,173 @@
+//! Integration tests for the parallel experiment-suite runner: serial vs
+//! parallel determinism, panic isolation through the public API, and the
+//! (ignored-by-default) multi-core speedup check.
+
+use exaflow::prelude::*;
+
+/// A 32-config mixed suite at test scale: four topology families, several
+/// workloads (including seeded random traffic and seeded random mappings)
+/// and seeded failure injection — everything that could go non-deterministic
+/// under parallel execution.
+fn mixed_suite() -> Vec<ExperimentConfig> {
+    let scale = SystemScale::new(64).unwrap();
+    let topologies = [
+        scale.torus_spec(),
+        scale.fattree_spec(),
+        scale.nested_spec(UpperTierKind::Fattree, 2, 4).unwrap(),
+        scale
+            .nested_spec(UpperTierKind::GeneralizedHypercube, 2, 4)
+            .unwrap(),
+    ];
+    let mut configs = Vec::new();
+    for (i, topology) in topologies.iter().cycle().take(32).enumerate() {
+        let seed = i as u64 + 1;
+        let workload = match i % 4 {
+            0 => WorkloadSpec::AllReduce {
+                tasks: 32,
+                bytes: 1 << 16,
+            },
+            1 => WorkloadSpec::UnstructuredApp {
+                tasks: 48,
+                flows_per_task: 2,
+                bytes: 1 << 16,
+                seed,
+            },
+            2 => WorkloadSpec::Bisection {
+                tasks: 32,
+                rounds: 2,
+                bytes: 1 << 14,
+                seed,
+            },
+            _ => WorkloadSpec::Reduce {
+                tasks: 24,
+                bytes: 1 << 16,
+            },
+        };
+        let mapping = match i % 3 {
+            0 => MappingSpec::Linear,
+            1 => MappingSpec::Random { seed },
+            _ => MappingSpec::Strided { stride: 1 },
+        };
+        let failures = if i % 5 == 0 {
+            Some(FailureSpec { count: 2, seed })
+        } else {
+            None
+        };
+        configs.push(ExperimentConfig {
+            topology: topology.clone(),
+            workload,
+            mapping,
+            sim: SimConfig::default(),
+            failures,
+        });
+    }
+    configs
+}
+
+#[derive(PartialEq, Debug)]
+struct Signature {
+    makespan_seconds: Vec<f64>,
+    flows: Vec<u64>,
+    events: Vec<u64>,
+}
+
+fn signature(results: &[Result<ExperimentResult, String>]) -> Signature {
+    let ok = |r: &Result<ExperimentResult, String>| r.as_ref().expect("experiment").clone();
+    Signature {
+        makespan_seconds: results.iter().map(|r| ok(r).makespan_seconds).collect(),
+        flows: results.iter().map(|r| ok(r).flows).collect(),
+        events: results.iter().map(|r| ok(r).events).collect(),
+    }
+}
+
+/// Serial and 8-way parallel runs of the same 32-config suite must agree
+/// bit-for-bit: all randomness (mappings, traffic, failures) is seeded, so
+/// scheduling order must not leak into results.
+#[test]
+fn suite_deterministic_across_thread_counts() {
+    let configs = mixed_suite();
+    assert_eq!(configs.len(), 32);
+    let serial = ExperimentSuite::new(configs.clone()).threads(1).run();
+    let parallel = ExperimentSuite::new(configs).threads(8).run();
+    assert_eq!(serial.report.threads, 1);
+    assert_eq!(parallel.report.threads, 8);
+    assert_eq!(serial.report.succeeded, 32);
+    assert_eq!(parallel.report.succeeded, 32);
+    // Bit-identical, not approximately equal: same f64s, same counters.
+    assert_eq!(signature(&serial.results), signature(&parallel.results));
+}
+
+/// One config that panics mid-experiment (a strided mapping overflowing the
+/// endpoint range trips an assert) yields an `Err` entry; every other
+/// experiment still completes with correct results.
+#[test]
+fn panicking_config_is_isolated() {
+    let scale = SystemScale::new(64).unwrap();
+    let good = |tasks: usize| ExperimentConfig {
+        topology: scale.torus_spec(),
+        workload: WorkloadSpec::AllReduce {
+            tasks,
+            bytes: 1 << 16,
+        },
+        mapping: MappingSpec::Linear,
+        sim: SimConfig::default(),
+        failures: None,
+    };
+    let mut bad = good(32);
+    // 32 tasks * stride 1000 >> 64 endpoints: panics inside the experiment,
+    // after the cheap tasks-vs-endpoints validation has passed.
+    bad.mapping = MappingSpec::Strided { stride: 1000 };
+
+    let run = ExperimentSuite::new(vec![good(16), bad, good(32)])
+        .threads(2)
+        .run();
+    assert!(run.results[0].is_ok());
+    let err = run.results[1].as_ref().unwrap_err();
+    assert!(err.contains("panicked"), "unexpected error text: {err}");
+    assert!(run.results[2].is_ok());
+    // Neighbours are unaffected and in input order: recursive-doubling
+    // AllReduce gives n·log2(n) flows.
+    assert_eq!(run.results[0].as_ref().unwrap().flows, 64);
+    assert_eq!(run.results[2].as_ref().unwrap().flows, 160);
+    assert_eq!(run.report.failed, 1);
+    assert_eq!(run.report.succeeded, 2);
+}
+
+/// Suite metrics describe the run: totals match the per-experiment results
+/// and the report survives a JSON round-trip.
+#[test]
+fn suite_report_matches_results() {
+    let configs = mixed_suite().into_iter().take(8).collect::<Vec<_>>();
+    let run = ExperimentSuite::new(configs).threads(4).run();
+    let events: u64 = run.results.iter().map(|r| r.as_ref().unwrap().events).sum();
+    let flows: u64 = run.results.iter().map(|r| r.as_ref().unwrap().flows).sum();
+    assert_eq!(run.report.events, events);
+    assert_eq!(run.report.flows, flows);
+    assert_eq!(run.report.per_experiment_wall_seconds.len(), 8);
+    assert!(run.report.wall_seconds > 0.0);
+    assert!(run.report.events_per_second > 0.0);
+
+    let json = serde_json::to_string(&run.report).unwrap();
+    let back: SuiteReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, run.report);
+}
+
+/// Multi-core speedup: 8 workers should finish the 32-config suite at
+/// least 1.5x faster than 1 worker (conservative; ~3x is typical on 4+
+/// cores). Ignored by default so single-core CI stays stable — run with
+/// `cargo test -- --ignored` on a multi-core host.
+#[test]
+#[ignore = "requires a multi-core host; run explicitly with -- --ignored"]
+fn parallel_suite_speeds_up() {
+    let configs = mixed_suite();
+    let serial = ExperimentSuite::new(configs.clone()).threads(1).run();
+    let parallel = ExperimentSuite::new(configs).threads(8).run();
+    let speedup = serial.report.wall_seconds / parallel.report.wall_seconds;
+    assert!(
+        speedup >= 1.5,
+        "expected >= 1.5x speedup with 8 threads, got {speedup:.2}x \
+         ({:.3}s serial vs {:.3}s parallel)",
+        serial.report.wall_seconds,
+        parallel.report.wall_seconds
+    );
+}

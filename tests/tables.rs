@@ -78,7 +78,11 @@ fn table1_fattree_reference() {
     let t = KAryTree::new(8, 3);
     assert_eq!(t.diameter(), 6);
     let stats = distance_stats_exact(&t);
-    assert!(stats.average > 5.5 && stats.average < 6.0, "{}", stats.average);
+    assert!(
+        stats.average > 5.5 && stats.average < 6.0,
+        "{}",
+        stats.average
+    );
 }
 
 /// As-constructed upper-tier switch counts track the paper's closed-form
@@ -102,9 +106,7 @@ fn built_switch_counts_near_model() {
         // belongs to the 131072-QFDB estimate.
         let model = match tier {
             UpperTier::Fattree => m.paper_switch_count(tier, scale.qfdbs, 1) as f64,
-            UpperTier::GeneralizedHypercube => {
-                m.paper_switch_count(tier, scale.qfdbs, 1) as f64
-            }
+            UpperTier::GeneralizedHypercube => m.paper_switch_count(tier, scale.qfdbs, 1) as f64,
         };
         let ratio = built / model;
         assert!(

@@ -1,0 +1,125 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The container cannot reach crates.io, so this crate provides just
+//! enough API surface for the workspace's bench targets to compile and
+//! smoke-run: each `Bencher::iter` closure executes **once** and the
+//! wall time is printed. No statistics, no sampling, no reports.
+
+use std::time::Instant;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _sample_size: usize,
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; ignored (every bench runs once).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self._sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, label), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut b = Bencher { elapsed: 0.0 };
+        f(&mut b, input);
+        eprintln!("bench {label}: {:.6}s (1 iter, smoke)", b.elapsed);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterised benchmark case.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter<P: std::fmt::Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    pub fn new<P: std::fmt::Display>(name: &str, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed: f64,
+}
+
+impl Bencher {
+    /// Run the routine once (smoke mode) and record its wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed().as_secs_f64();
+        drop(out);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { elapsed: 0.0 };
+    f(&mut b);
+    eprintln!("bench {label}: {:.6}s (1 iter, smoke)", b.elapsed);
+}
+
+/// Mirrors criterion's macro: both the plain `criterion_group!(name, t1, t2)`
+/// form and the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,166 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), range / tuple / collection /
+//! sample strategies, `any::<T>()`, `prop_oneof!`, `.prop_map(...)` and the
+//! `prop_assert*` family. Inputs are generated from a per-test
+//! deterministic RNG (seeded by the test's module path and name, or by
+//! `PROPTEST_SEED`). There is **no shrinking**: failures print the exact
+//! generated inputs instead.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the `use proptest::prelude::*;` idiom expects.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declare property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u32..100, v in prop::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); ) => {};
+    (($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let __strategies = ($($strat,)+);
+            let ($($arg,)+) = &__strategies;
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate($arg, &mut __rng);)+
+                // Rendered before the body runs: the body may consume the
+                // generated values by move.
+                let __inputs = {
+                    let mut __s = ::std::string::String::new();
+                    $(
+                        __s.push_str(stringify!($arg));
+                        __s.push_str(" = ");
+                        __s.push_str(&format!("{:?}", &$arg));
+                        __s.push_str("; ");
+                    )+
+                    __s
+                };
+                let __outcome: ::std::result::Result<
+                    ::std::result::Result<(), $crate::test_runner::TestCaseError>,
+                    ::std::boxed::Box<dyn ::std::any::Any + Send>,
+                > = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                }));
+                match __outcome {
+                    Err(__panic) => {
+                        eprintln!(
+                            "proptest case {}/{} panicked; inputs: {}",
+                            __case + 1, __config.cases, __inputs
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                    Ok(Err(__failure)) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs: {}",
+                            __case + 1, __config.cases, __failure.0, __inputs
+                        );
+                    }
+                    Ok(Ok(())) => {}
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+}
+
+/// One strategy out of several (all must yield the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fail the current test case (returns `Err` from the case closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// `prop_assert!(a != b)` with a diff-style message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}

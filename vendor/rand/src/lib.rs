@@ -1,0 +1,271 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! Backed by xoshiro256** seeded via SplitMix64. The sequences differ from
+//! upstream `rand`'s, but every consumer in this workspace only relies on
+//! *seeded determinism* (same seed → same draw sequence), which holds.
+//!
+//! Supported surface: `SeedableRng::{seed_from_u64, from_seed}`,
+//! `rngs::{StdRng, SmallRng}`, `Rng::{random, random_range}` and
+//! `seq::SliceRandom::{shuffle, choose}`.
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Expand a `u64` into a full RNG state (SplitMix64, as upstream does).
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Seed from OS entropy — not available offline; use a fixed ladder so
+    /// behaviour stays reproducible.
+    fn from_os_rng() -> Self {
+        Self::seed_from_u64(0x9E3779B97F4A7C15)
+    }
+}
+
+/// The random-generation surface the workspace uses. Unlike upstream there
+/// is no separate `RngCore`; everything derives from [`Rng::next_u64`].
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random value of a primitive type (`f64` draws from
+    /// `[0, 1)`).
+    fn random<T: distr::StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from a half-open range. Panics on an empty range.
+    fn random_range<T: distr::UniformSampled>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// Bernoulli draw.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+pub mod distr {
+    //! Sampling glue for [`super::Rng::random`] / `random_range`.
+
+    use super::Rng;
+
+    /// Types drawable uniformly from their "standard" domain.
+    pub trait StandardUniform: Sized {
+        fn sample_standard<R: Rng>(rng: &mut R) -> Self;
+    }
+
+    impl StandardUniform for f64 {
+        fn sample_standard<R: Rng>(rng: &mut R) -> f64 {
+            // 53 mantissa bits → uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardUniform for f32 {
+        fn sample_standard<R: Rng>(rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample_standard<R: Rng>(rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl StandardUniform for $t {
+                fn sample_standard<R: Rng>(rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Types samplable uniformly from a half-open range.
+    pub trait UniformSampled: Sized {
+        fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl UniformSampled for $t {
+                fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<$t>) -> $t {
+                    assert!(range.start < range.end, "cannot sample empty range");
+                    let span = (range.end as u128).wrapping_sub(range.start as u128) as u128;
+                    // Multiply-shift keeps the draw unbiased enough for
+                    // simulation seeding purposes.
+                    let draw = (rng.next_u64() as u128 * span) >> 64;
+                    range.start.wrapping_add(draw as $t)
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_signed {
+        ($($t:ty),*) => {$(
+            impl UniformSampled for $t {
+                fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<$t>) -> $t {
+                    assert!(range.start < range.end, "cannot sample empty range");
+                    let span = (range.end as i128 - range.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128 * span) >> 64;
+                    (range.start as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_signed!(i8, i16, i32, i64, isize);
+
+    impl UniformSampled for f64 {
+        fn sample_range<R: Rng>(rng: &mut R, range: std::ops::Range<f64>) -> f64 {
+            assert!(range.start < range.end, "cannot sample empty range");
+            let u = f64::sample_standard(rng);
+            range.start + u * (range.end - range.start)
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256** — fast, high-quality, and tiny to implement.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// Offline stand-in: the "small" RNG shares StdRng's engine.
+    pub type SmallRng = StdRng;
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors
+            // (and used by upstream rand for seed_from_u64).
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice helpers.
+
+    use super::Rng;
+
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_determinism() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "shuffle left the slice identical (astronomically unlikely)"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! Deserialization out of the [`Value`] tree.
+
+use crate::value::{Number, Value};
+
+/// Deserialization error: a plain message, like serde_json's.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion from the self-describing value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+fn type_err(expected: &str, got: &Value) -> Error {
+    Error(format!(
+        "invalid type: expected {expected}, found {}",
+        got.kind()
+    ))
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| type_err("bool", v))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| type_err("string", v))
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| type_err("unsigned integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| type_err("integer", v))?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| type_err("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| type_err("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| type_err("array", v))?;
+                if items.len() != $len {
+                    return Err(Error(format!(
+                        "expected array of length {}, found {}", $len, items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+de_tuple! {
+    (1: 0 A)
+    (2: 0 A, 1 B)
+    (3: 0 A, 1 B, 2 C)
+    (4: 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| type_err("object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| type_err("object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Deserialize, E: Deserialize> Deserialize for Result<T, E> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // Upstream serde: externally tagged, {"Ok": ...} / {"Err": ...}.
+        let obj = v.as_object().ok_or_else(|| type_err("object", v))?;
+        if obj.len() != 1 {
+            return Err(Error(
+                "expected an object with exactly one of `Ok`/`Err`".into(),
+            ));
+        }
+        let (tag, inner) = obj.iter().next().unwrap();
+        match tag.as_str() {
+            "Ok" => T::from_value(inner).map(Ok),
+            "Err" => E::from_value(inner).map(Err),
+            other => Err(Error(format!("unknown Result variant `{other}`"))),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+/// Helper used by derived code for `Result<T, E>`-free field access with
+/// nice errors.
+pub fn missing_field<T: Deserialize>(strukt: &str, field: &str) -> Result<T, Error> {
+    // Mirror serde's behaviour: a missing field deserializes like `null`,
+    // which succeeds for `Option` and fails (with a clear message) for
+    // everything else.
+    T::from_value(&Value::Null).map_err(|_| Error(format!("missing field `{field}` in {strukt}")))
+}
+
+#[allow(unused)]
+fn number_sanity() {
+    // Compile-time reminder that Number stays exactly-roundtripping for u64.
+    let _ = Number::PosInt(u64::MAX);
+}

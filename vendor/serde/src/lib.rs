@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate (together with its sibling `serde_derive`, `serde_json`)
+//! provides the subset of serde's API the workspace actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on non-generic structs and enums,
+//!   honouring `#[serde(tag = "...", rename_all = "snake_case")]`,
+//!   `#[serde(default)]`, `#[serde(default = "path")]` and
+//!   `#[serde(transparent)]`;
+//! * `Serialize` / `Deserialize` as trait bounds.
+//!
+//! Unlike real serde there is no streaming serializer: values convert to and
+//! from an owned [`value::Value`] tree, which `serde_json` renders and
+//! parses. This is plenty for experiment configs and result dumps, and keeps
+//! the whole stack a few hundred lines.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

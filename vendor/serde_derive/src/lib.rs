@@ -1,0 +1,642 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input by walking the raw token stream (no `syn`), so it
+//! deliberately supports only the shapes this workspace uses:
+//!
+//! * non-generic structs with named fields,
+//! * non-generic tuple structs (newtypes serialize transparently),
+//! * unit structs,
+//! * enums whose variants are unit or struct-like,
+//!
+//! with the container attributes `#[serde(tag = "...")]`,
+//! `#[serde(rename_all = "snake_case")]`, `#[serde(transparent)]` and the
+//! field attributes `#[serde(default)]` / `#[serde(default = "path")]`.
+//! Anything else fails the build with a clear message rather than silently
+//! misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Copy, Clone, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+// ---------------------------------------------------------------- model --
+
+#[derive(Default, Debug)]
+struct ContainerAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    transparent: bool,
+}
+
+#[derive(Debug)]
+enum DefaultKind {
+    None,
+    Trait,
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: DefaultKind,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Shape {
+    UnitStruct,
+    /// Tuple struct with `arity` unnamed fields.
+    TupleStruct {
+        arity: usize,
+    },
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+// --------------------------------------------------------------- parsing --
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let parsed = match parse_input(&tokens) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match dir {
+        Direction::Serialize => gen_serialize(&parsed),
+        Direction::Deserialize => gen_deserialize(&parsed),
+    };
+    match code {
+        Ok(c) => c.parse().unwrap_or_else(|e| {
+            compile_error(&format!("serde stub generated invalid code: {e}\n{c}"))
+        }),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Split `#[...]` attribute groups off the front of `tokens`, returning the
+/// merged serde attributes and the index of the first non-attribute token.
+fn parse_attrs(tokens: &[TokenTree], at: &mut usize) -> Result<ContainerAttrs, String> {
+    let mut attrs = ContainerAttrs::default();
+    let mut field_default = DefaultKind::None;
+    parse_attrs_inner(tokens, at, &mut attrs, &mut field_default)?;
+    Ok(attrs)
+}
+
+fn parse_attrs_inner(
+    tokens: &[TokenTree],
+    at: &mut usize,
+    attrs: &mut ContainerAttrs,
+    default: &mut DefaultKind,
+) -> Result<(), String> {
+    while *at + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[*at] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*at + 1] else {
+            return Err("expected [...] after #".into());
+        };
+        *at += 2;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        // Only `serde(...)` attribute groups matter; skip doc comments etc.
+        let is_serde =
+            matches!(&inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            return Err("expected serde(...)".into());
+        };
+        parse_serde_args(args.stream(), attrs, default)?;
+    }
+    Ok(())
+}
+
+/// Parse the comma-separated items inside `serde(...)`.
+fn parse_serde_args(
+    stream: TokenStream,
+    attrs: &mut ContainerAttrs,
+    default: &mut DefaultKind,
+) -> Result<(), String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let TokenTree::Ident(key) = &toks[i] else {
+            return Err(format!("unexpected token in #[serde(...)]: {}", toks[i]));
+        };
+        let key = key.to_string();
+        let mut value = None;
+        i += 1;
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == '=' {
+                let Some(TokenTree::Literal(lit)) = toks.get(i + 1) else {
+                    return Err(format!("expected string after {key} ="));
+                };
+                value = Some(unquote(&lit.to_string())?);
+                i += 2;
+            }
+        }
+        match (key.as_str(), value) {
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) => {
+                if v != "snake_case" {
+                    return Err(format!("unsupported rename_all = \"{v}\""));
+                }
+                attrs.rename_all = Some(v);
+            }
+            ("transparent", None) => attrs.transparent = true,
+            ("default", None) => *default = DefaultKind::Trait,
+            ("default", Some(path)) => *default = DefaultKind::Path(path),
+            (other, _) => return Err(format!("unsupported serde attribute `{other}`")),
+        }
+        // Skip a trailing comma.
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn unquote(lit: &str) -> Result<String, String> {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        Ok(s[1..s.len() - 1].to_string())
+    } else {
+        Err(format!("expected string literal, got {lit}"))
+    }
+}
+
+fn parse_input(tokens: &[TokenTree]) -> Result<Input, String> {
+    let mut at = 0;
+    let attrs = parse_attrs(tokens, &mut at)?;
+    // Skip visibility: `pub`, optionally followed by `(...)`.
+    if matches!(&tokens.get(at), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        at += 1;
+        if matches!(&tokens.get(at), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            at += 1;
+        }
+    }
+    let kind = match &tokens.get(at) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    at += 1;
+    let name = match &tokens.get(at) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    at += 1;
+    if matches!(&tokens.get(at), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde stub cannot derive for generic type {name}"));
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(at) {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_fields(g.stream())?)
+            }
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(at) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+    Ok(Input { name, attrs, shape })
+}
+
+/// Count top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut depth = 0i32;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if matches!(toks.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Parse `name: Type, ...` named-field bodies (types are skipped; the
+/// generated code relies on inference).
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut at = 0;
+    while at < toks.len() {
+        let mut attrs = ContainerAttrs::default();
+        let mut default = DefaultKind::None;
+        parse_attrs_inner(&toks, &mut at, &mut attrs, &mut default)?;
+        if at >= toks.len() {
+            break;
+        }
+        if matches!(&toks[at], TokenTree::Ident(i) if i.to_string() == "pub") {
+            at += 1;
+            if matches!(&toks.get(at), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                at += 1;
+            }
+        }
+        let name = match &toks[at] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected field name, got {other}")),
+        };
+        at += 1;
+        match &toks.get(at) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => at += 1,
+            other => return Err(format!("expected `:` after field {name}, got {other:?}")),
+        }
+        // Skip the type: everything until a top-level comma.
+        let mut depth = 0i32;
+        while at < toks.len() {
+            match &toks[at] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    at += 1;
+                    break;
+                }
+                _ => {}
+            }
+            at += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut at = 0;
+    while at < toks.len() {
+        let mut attrs = ContainerAttrs::default();
+        let mut default = DefaultKind::None;
+        parse_attrs_inner(&toks, &mut at, &mut attrs, &mut default)?;
+        if at >= toks.len() {
+            break;
+        }
+        let name = match &toks[at] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected variant name, got {other}")),
+        };
+        at += 1;
+        let fields = match toks.get(at) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                at += 1;
+                Some(parse_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde stub cannot derive for tuple variant {name}(...)"
+                ));
+            }
+            _ => None,
+        };
+        // Skip a discriminant (`= expr`) — unused here — and the comma.
+        while at < toks.len() {
+            if matches!(&toks[at], TokenTree::Punct(p) if p.as_char() == ',') {
+                at += 1;
+                break;
+            }
+            at += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// --------------------------------------------------------------- codegen --
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn variant_tag(input: &Input, variant: &str) -> String {
+    match input.attrs.rename_all.as_deref() {
+        Some(_) => snake_case(variant),
+        None => variant.to_string(),
+    }
+}
+
+fn gen_serialize(input: &Input) -> Result<String, String> {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct { arity: 1 } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(fields) => {
+            let mut s = String::from("{ let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert({:?}, ::serde::Serialize::to_value(&self.{}));\n",
+                    f.name, f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m) }");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag_value = variant_tag(input, &v.name);
+                match (&v.fields, &input.attrs.tag) {
+                    (None, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::String({t:?}.to_string()),\n",
+                            v = v.name,
+                            t = tag_value
+                        ));
+                    }
+                    (None, Some(tag_key)) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => {{ let mut __m = ::serde::Map::new();\n\
+                             __m.insert({k:?}, ::serde::Value::String({t:?}.to_string()));\n\
+                             ::serde::Value::Object(__m) }}\n",
+                            v = v.name,
+                            k = tag_key,
+                            t = tag_value
+                        ));
+                    }
+                    (Some(fields), tag) => {
+                        let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!(
+                            "{name}::{v} {{ {pat} }} => {{ let mut __m = ::serde::Map::new();\n",
+                            v = v.name,
+                            pat = pat.join(", ")
+                        );
+                        if let Some(tag_key) = tag {
+                            arm.push_str(&format!(
+                                "__m.insert({k:?}, ::serde::Value::String({t:?}.to_string()));\n",
+                                k = tag_key,
+                                t = tag_value
+                            ));
+                        }
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "__m.insert({n:?}, ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        if tag.is_none() {
+                            // Externally tagged: {"Variant": {fields...}}
+                            arm.push_str(&format!(
+                                "let mut __outer = ::serde::Map::new();\n\
+                                 __outer.insert({t:?}, ::serde::Value::Object(__m));\n\
+                                 ::serde::Value::Object(__outer) }}\n",
+                                t = tag_value
+                            ));
+                        } else {
+                            arm.push_str("::serde::Value::Object(__m) }\n");
+                        }
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    ))
+}
+
+/// Generate the expression deserializing field `f` out of object `__obj` of
+/// container `ctx`.
+fn field_expr(ctx: &str, f: &Field) -> String {
+    let get = format!("__obj.get({:?})", f.name);
+    match &f.default {
+        DefaultKind::None => format!(
+            "match {get} {{ Some(__v) => ::serde::de::Deserialize::from_value(__v)?, \
+             None => ::serde::de::missing_field({ctx:?}, {n:?})?, }}",
+            n = f.name
+        ),
+        DefaultKind::Trait => format!(
+            "match {get} {{ Some(__v) => ::serde::de::Deserialize::from_value(__v)?, \
+             None => ::core::default::Default::default(), }}"
+        ),
+        DefaultKind::Path(path) => format!(
+            "match {get} {{ Some(__v) => ::serde::de::Deserialize::from_value(__v)?, \
+             None => {path}(), }}"
+        ),
+    }
+}
+
+fn gen_deserialize(input: &Input) -> Result<String, String> {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::UnitStruct => format!(
+            "match __value {{ ::serde::Value::Null => Ok({name}), \
+             __other => Err(::serde::de::Error::custom(format!(\
+             \"expected null for unit struct {name}, found {{}}\", __other.kind()))), }}"
+        ),
+        Shape::TupleStruct { arity: 1 } => {
+            format!("Ok({name}(::serde::de::Deserialize::from_value(__value)?))")
+        }
+        Shape::TupleStruct { arity } => {
+            let mut s = format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::de::Error::custom(\"expected array for {name}\"))?;\n\
+                 if __items.len() != {arity} {{ return Err(::serde::de::Error::custom(\
+                 format!(\"expected {arity} elements, found {{}}\", __items.len()))); }}\n\
+                 Ok({name}("
+            );
+            for i in 0..*arity {
+                s.push_str(&format!(
+                    "::serde::de::Deserialize::from_value(&__items[{i}])?, "
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::Struct(fields) => {
+            let mut s = format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::de::Error::custom(format!(\
+                 \"expected object for {name}, found {{}}\", __value.kind())))?;\n\
+                 Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!("{}: {},\n", f.name, field_expr(name, f)));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Enum(variants) => {
+            let unit_only = variants.iter().all(|v| v.fields.is_none());
+            match &input.attrs.tag {
+                None if unit_only => {
+                    let mut arms = String::new();
+                    for v in variants {
+                        arms.push_str(&format!(
+                            "{t:?} => Ok({name}::{v}),\n",
+                            t = variant_tag(input, &v.name),
+                            v = v.name
+                        ));
+                    }
+                    format!(
+                        "let __s = __value.as_str().ok_or_else(|| \
+                         ::serde::de::Error::custom(format!(\
+                         \"expected string for enum {name}, found {{}}\", __value.kind())))?;\n\
+                         match __s {{\n{arms}__other => Err(::serde::de::Error::custom(\
+                         format!(\"unknown variant `{{__other}}` of {name}\"))), }}"
+                    )
+                }
+                None => {
+                    // Externally tagged: {"Variant": {...}} or "UnitVariant".
+                    let mut str_arms = String::new();
+                    let mut obj_arms = String::new();
+                    for v in variants {
+                        let tag = variant_tag(input, &v.name);
+                        match &v.fields {
+                            None => str_arms.push_str(&format!(
+                                "{tag:?} => return Ok({name}::{v}),\n",
+                                v = v.name
+                            )),
+                            Some(fields) => {
+                                let mut arm = format!(
+                                    "{tag:?} => {{\n\
+                                     let __obj = __inner.as_object().ok_or_else(|| \
+                                     ::serde::de::Error::custom(\"expected object variant body\"))?;\n\
+                                     return Ok({name}::{v} {{\n",
+                                    v = v.name
+                                );
+                                for f in fields {
+                                    arm.push_str(&format!(
+                                        "{}: {},\n",
+                                        f.name,
+                                        field_expr(name, f)
+                                    ));
+                                }
+                                arm.push_str("}); }\n");
+                                obj_arms.push_str(&arm);
+                            }
+                        }
+                    }
+                    format!(
+                        "if let Some(__s) = __value.as_str() {{\n\
+                         match __s {{ {str_arms} _ => {{}} }}\n\
+                         }}\n\
+                         if let Some(__outer) = __value.as_object() {{\n\
+                         if let Some((__tag, __inner)) = __outer.iter().next() {{\n\
+                         match __tag.as_str() {{ {obj_arms} _ => {{}} }}\n\
+                         }}\n\
+                         }}\n\
+                         Err(::serde::de::Error::custom(format!(\
+                         \"unrecognised {name} variant: {{:?}}\", __value)))"
+                    )
+                }
+                Some(tag_key) => {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let tag = variant_tag(input, &v.name);
+                        match &v.fields {
+                            None => {
+                                arms.push_str(&format!("{tag:?} => Ok({name}::{v}),\n", v = v.name))
+                            }
+                            Some(fields) => {
+                                let mut arm = format!("{tag:?} => Ok({name}::{v} {{\n", v = v.name);
+                                for f in fields {
+                                    arm.push_str(&format!(
+                                        "{}: {},\n",
+                                        f.name,
+                                        field_expr(name, f)
+                                    ));
+                                }
+                                arm.push_str("}),\n");
+                                arms.push_str(&arm);
+                            }
+                        }
+                    }
+                    format!(
+                        "let __obj = __value.as_object().ok_or_else(|| \
+                         ::serde::de::Error::custom(format!(\
+                         \"expected object for {name}, found {{}}\", __value.kind())))?;\n\
+                         let __tag = __obj.get({tag_key:?}).and_then(|v| v.as_str())\
+                         .ok_or_else(|| ::serde::de::Error::custom(\
+                         \"missing or non-string tag `{tag_key}` for {name}\"))?;\n\
+                         match __tag {{\n{arms}__other => Err(::serde::de::Error::custom(\
+                         format!(\"unknown {name} variant `{{__other}}`\"))), }}"
+                    )
+                }
+            }
+        }
+    };
+    Ok(format!(
+        "#[automatically_derived]\n\
+         impl ::serde::de::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    ))
+}

@@ -1,0 +1,126 @@
+//! Offline stand-in for `serde_json`, built on the sibling `serde` stub's
+//! value tree. Supports the workspace's API surface: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`from_slice`] and [`Value`] with
+//! indexing and scalar accessors.
+
+mod parse;
+mod print;
+
+pub use serde::value::{Map, Number, Value};
+
+/// Parse or serialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serialize `value` to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Serialize `value` into a JSON [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Deserialize a `T` out of a JSON [`Value`] tree.
+pub fn from_value<T: serde::de::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: serde::de::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse::parse(s).map_err(Error)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Deserialize a `T` from JSON bytes (must be UTF-8).
+pub fn from_slice<T: serde::de::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for src in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-7",
+            "3.25",
+            "\"hi\\n\"",
+            "[1,2]",
+            "{}",
+        ] {
+            let v: Value = from_str(src).unwrap();
+            let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(v, back, "{src}");
+        }
+    }
+
+    #[test]
+    fn u64_exact() {
+        let v: Value = from_str("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(to_string(&v).unwrap(), "18446744073709551615");
+    }
+
+    #[test]
+    fn float_roundtrip_has_point() {
+        let v = Value::Number(Number::Float(1.0));
+        assert_eq!(to_string(&v).unwrap(), "1.0");
+        let v = Value::Number(Number::Float(0.1));
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back.as_f64(), Some(0.1));
+    }
+
+    #[test]
+    fn object_order_preserved() {
+        let v: Value = from_str(r#"{"b": 1, "a": 2}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn pretty_prints_with_indent() {
+        let v: Value = from_str(r#"{"a": [1, 2]}"#).unwrap();
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": [\n    1,"), "{s}");
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""A😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{ nonsense").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
