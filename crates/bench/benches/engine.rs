@@ -23,7 +23,7 @@ fn maxmin_solve(c: &mut Criterion) {
                     .collect()
             })
             .collect();
-        let mut solver = MaxMinSolver::new(vec![10e9; 4096]);
+        let mut solver = MaxMinSolver::new(vec![10e9; 4096]).unwrap();
         let mut rates = vec![0.0; flows];
         group.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
             b.iter(|| {
@@ -46,7 +46,7 @@ fn sim_allreduce(c: &mut Criterion) {
     c.bench_function("sim_allreduce_512", |b| {
         b.iter(|| {
             let sim = Simulator::new(&topo);
-            black_box(sim.run(black_box(&dag)).makespan_seconds)
+            black_box(sim.run(black_box(&dag)).unwrap().makespan_seconds)
         })
     });
 }
@@ -72,7 +72,7 @@ fn batching_ablation(c: &mut Criterion) {
                     ..SimConfig::default()
                 };
                 let sim = Simulator::with_config(&topo, cfg);
-                black_box(sim.run(black_box(&dag)).events)
+                black_box(sim.run(black_box(&dag)).unwrap().events)
             })
         });
     }

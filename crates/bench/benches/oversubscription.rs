@@ -19,7 +19,7 @@ fn oversubscription_sweep(c: &mut Criterion) {
     for os in [1.0f64, 2.0, 4.0] {
         let topo = KAryTree::with_oversubscription(8, 3, 256, 10e9, os);
         group.bench_with_input(BenchmarkId::from_parameter(os), &os, |b, _| {
-            b.iter(|| black_box(Simulator::new(&topo).run(&dag).makespan_seconds))
+            b.iter(|| black_box(Simulator::new(&topo).run(&dag).unwrap().makespan_seconds))
         });
     }
     group.finish();

@@ -60,6 +60,7 @@ fn route_cache_ablation(c: &mut Criterion) {
                 black_box(
                     Simulator::with_config(&topo, cfg)
                         .run(&dag)
+                        .unwrap()
                         .makespan_seconds,
                 )
             })

@@ -157,7 +157,11 @@ pub fn figure_panel(
         run.report.events_per_second,
         run.report.speedup(),
     );
-    let results: Vec<ExperimentResult> = run.results.into_iter().collect::<Result<_, String>>()?;
+    let results: Vec<ExperimentResult> = run
+        .results
+        .into_iter()
+        .collect::<Result<_, exaflow::ExperimentError>>()
+        .map_err(|e| e.to_string())?;
 
     let base = results[0].makespan_seconds;
     if base <= 0.0 {

@@ -97,24 +97,44 @@ fn read_config(path: Option<&str>) -> Result<ExperimentConfig, String> {
     serde_json::from_str(&body).map_err(|e| format!("parse config: {e}"))
 }
 
+/// Structured error document printed to stdout when an experiment fails:
+/// the typed [`ExperimentError`] under an `"error"` key, so scripted
+/// callers can match on `error.kind` instead of scraping stderr.
+#[derive(serde::Serialize)]
+struct ErrorOutput {
+    error: ExperimentError,
+}
+
 fn cmd_run(path: Option<&str>) -> i32 {
-    match read_config(path).and_then(|cfg| run_experiment(&cfg)) {
+    let cfg = match read_config(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    match run_experiment(&cfg) {
         Ok(result) => {
             println!("{}", serde_json::to_string_pretty(&result).unwrap());
             0
         }
         Err(e) => {
             eprintln!("error: {e}");
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&ErrorOutput { error: e }).unwrap()
+            );
             1
         }
     }
 }
 
 /// JSON document printed by `exaflow sweep`: per-config outcomes (in
-/// input order, `{"Ok": ...}` or `{"Err": "..."}`) plus suite metrics.
+/// input order, `{"Ok": ...}` or `{"Err": {typed error}}`) plus suite
+/// metrics.
 #[derive(serde::Serialize, serde::Deserialize)]
 struct SweepOutput {
-    results: Vec<Result<ExperimentResult, String>>,
+    results: Vec<Result<ExperimentResult, ExperimentError>>,
     report: SuiteReport,
 }
 
@@ -156,6 +176,17 @@ fn cmd_sweep(args: &[String]) -> i32 {
         "sweep: {}/{} experiments succeeded in {:.2}s on {} thread(s)",
         run.report.succeeded, run.report.experiments, run.report.wall_seconds, run.report.threads
     );
+    for (i, res) in run.results.iter().enumerate() {
+        if let Ok(r) = res {
+            if r.failed_cables_applied < r.failed_cables_requested {
+                eprintln!(
+                    "warning: experiment {i} ({}) applied only {} of {} requested cable \
+                     failures — the topology ran out of safely removable cables",
+                    r.topology, r.failed_cables_applied, r.failed_cables_requested
+                );
+            }
+        }
+    }
     let out = SweepOutput {
         results: run.results,
         report: run.report,

@@ -83,6 +83,67 @@ fn run_rejects_bad_config() {
 }
 
 #[test]
+fn run_prints_structured_error_json() {
+    use std::io::Write;
+    let mut child = exaflow()
+        .args(["run", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // Well-formed JSON, inconsistent experiment: 64 tasks on 16 endpoints.
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            br#"{"topology": {"topology": "torus", "dims": [4, 4]},
+                "workload": {"workload": "all_reduce", "tasks": 64, "bytes": 1024}}"#,
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // stdout carries the typed error as JSON, matchable on `error.kind`.
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid error JSON");
+    assert_eq!(body["error"]["kind"], "too_many_tasks");
+    assert_eq!(body["error"]["tasks"], 64);
+    assert_eq!(body["error"]["endpoints"], 16);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("64 tasks"), "stderr: {err}");
+}
+
+#[test]
+fn run_reports_invalid_sim_config_kind() {
+    use std::io::Write;
+    let mut child = exaflow()
+        .args(["run", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // A negative NIC rate is caught at the JSON boundary by the SimConfig
+    // deserializer and reported as a parse error naming the field.
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            br#"{"topology": {"topology": "torus", "dims": [4, 4]},
+                "workload": {"workload": "reduce", "tasks": 8, "bytes": 1024},
+                "sim": {"injection_bps": -5.0, "ejection_bps": 1e10,
+                        "batch_epsilon": 1e-9, "record_flow_times": false,
+                        "cache_routes": true, "route_cache_cap": 1024}}"#,
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("injection_bps"), "stderr: {err}");
+}
+
+#[test]
 fn topo_reports_stats() {
     use std::io::Write;
     let mut child = exaflow()
@@ -111,7 +172,7 @@ fn topo_reports_stats() {
 /// Shape of the `exaflow sweep` stdout document, for round-tripping.
 #[derive(serde::Deserialize)]
 struct Sweep {
-    results: Vec<Result<exaflow::ExperimentResult, String>>,
+    results: Vec<Result<exaflow::ExperimentResult, exaflow::ExperimentError>>,
     report: exaflow::SuiteReport,
 }
 
@@ -143,9 +204,21 @@ fn sweep_runs_suite_from_file() {
     let sweep: Sweep = serde_json::from_slice(&out.stdout).expect("valid sweep JSON");
     assert_eq!(sweep.results.len(), 3);
     assert!(sweep.results[0].is_ok());
-    // 64 tasks don't fit a 16-endpoint torus: an Err entry, not an abort.
+    // 64 tasks don't fit a 16-endpoint torus: a typed Err entry, not an
+    // abort.
     let err = sweep.results[1].as_ref().unwrap_err();
-    assert!(err.contains("64 tasks"), "unexpected error text: {err}");
+    assert!(
+        matches!(
+            err,
+            exaflow::ExperimentError::TooManyTasks {
+                tasks: 64,
+                endpoints: 16,
+                ..
+            }
+        ),
+        "unexpected error: {err:?}"
+    );
+    assert!(err.to_string().contains("64 tasks"), "{err}");
     assert!(sweep.results[2].is_ok());
     assert_eq!(sweep.report.experiments, 3);
     assert_eq!(sweep.report.succeeded, 2);
@@ -155,6 +228,45 @@ fn sweep_runs_suite_from_file() {
 
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("2/3 experiments succeeded"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_warns_on_truncated_failure_request() {
+    use std::io::Write;
+    let mut child = exaflow()
+        .args(["sweep", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // 50 cable failures cannot be applied to a 4x4 torus (32 cables, and
+    // the last link of a node is never removed). A 1-task Reduce has no
+    // flows, so the experiment succeeds regardless of connectivity and the
+    // shortfall surfaces as a warning plus the recorded counts.
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            br#"[{"topology": {"topology": "torus", "dims": [4, 4]},
+                 "workload": {"workload": "reduce", "tasks": 1, "bytes": 1},
+                 "failures": {"count": 50, "seed": 9}}]"#,
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warning"), "stderr: {err}");
+    assert!(err.contains("50 requested"), "stderr: {err}");
+    let sweep: Sweep = serde_json::from_slice(&out.stdout).expect("valid sweep JSON");
+    let res = sweep.results[0].as_ref().unwrap();
+    assert_eq!(res.failed_cables_requested, 50);
+    assert!(res.failed_cables_applied < 50);
 }
 
 #[test]

@@ -1,5 +1,6 @@
 //! Declarative experiments: topology × workload × mapping × engine config.
 
+use crate::error::ExperimentError;
 use crate::topospec::TopologySpec;
 use exaflow_sim::{SimConfig, SimReport, Simulator};
 use exaflow_topo::{Degraded, Topology};
@@ -82,30 +83,56 @@ pub struct ExperimentResult {
     pub maxmin_iterations: u64,
     /// Wall-clock seconds the simulation itself took.
     pub wall_seconds: f64,
+    /// Duplex cables the [`FailureSpec`] asked to fail (0 without one).
+    #[serde(default)]
+    pub failed_cables_requested: u64,
+    /// Duplex cables actually failed — less than requested when the
+    /// topology ran out of safely removable cables, in which case the
+    /// experiment measured a milder failure scenario than configured.
+    #[serde(default)]
+    pub failed_cables_applied: u64,
 }
 
 /// Build the topology, generate the workload, simulate, report.
 ///
-/// Returns an error for inconsistent configurations (more tasks than
-/// endpoints, invalid topology parameters, …).
-pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, String> {
+/// Every inconsistent configuration — invalid topology parameters, a
+/// malformed engine config, more tasks than endpoints, a failure spec
+/// that cannot apply, a simulation-level failure — is a typed
+/// [`ExperimentError`], so bulk drivers can report *which* grid point
+/// failed and *why* without string matching.
+pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, ExperimentError> {
+    // Reject a malformed engine config before paying for topology
+    // construction; the engine re-checks at `run` as a second line.
+    cfg.sim.validate().map_err(ExperimentError::from)?;
     let built = cfg.topology.build()?;
+    let (mut cables_requested, mut cables_applied) = (0u64, 0u64);
     let topo: Box<dyn Topology> = match cfg.failures {
-        Some(f) => Box::new(Degraded::with_random_failures(built, f.count, f.seed)),
+        Some(f) => {
+            if f.count == 0 {
+                return Err(ExperimentError::InvalidFailures {
+                    reason: "failure count must be > 0 (omit the failures field for a healthy run)"
+                        .into(),
+                });
+            }
+            let degraded = Degraded::with_random_failures(built, f.count, f.seed);
+            cables_requested = degraded.cables_requested() as u64;
+            cables_applied = degraded.cables_applied() as u64;
+            Box::new(degraded)
+        }
         None => built,
     };
     let tasks = cfg.workload.num_tasks();
     if tasks > topo.num_endpoints() {
-        return Err(format!(
-            "workload has {tasks} tasks but topology {} has only {} endpoints",
-            topo.name(),
-            topo.num_endpoints()
-        ));
+        return Err(ExperimentError::TooManyTasks {
+            tasks: tasks as u64,
+            endpoints: topo.num_endpoints() as u64,
+            topology: topo.name(),
+        });
     }
     let mapping = cfg.mapping.build(tasks, topo.num_endpoints());
     let dag = cfg.workload.generate(&mapping);
     let started = std::time::Instant::now();
-    let report: SimReport = Simulator::with_config(&topo, cfg.sim.clone()).run(&dag);
+    let report: SimReport = Simulator::with_config(&topo, cfg.sim.clone()).run(&dag)?;
     Ok(ExperimentResult {
         topology: topo.name(),
         workload: cfg.workload.name().to_owned(),
@@ -114,12 +141,15 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, String
         events: report.events,
         maxmin_iterations: report.maxmin_iterations,
         wall_seconds: started.elapsed().as_secs_f64(),
+        failed_cables_requested: cables_requested,
+        failed_cables_applied: cables_applied,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ExperimentError;
     use exaflow_topo::UpperTierKind;
 
     fn reduce_cfg(topology: TopologySpec) -> ExperimentConfig {
@@ -180,7 +210,67 @@ mod tests {
             sim: SimConfig::default(),
             failures: None,
         };
-        assert!(run_experiment(&cfg).is_err());
+        let err = run_experiment(&cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ExperimentError::TooManyTasks {
+                    tasks: 16,
+                    endpoints: 4,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_failure_count_is_invalid() {
+        let mut cfg = reduce_cfg(TopologySpec::Torus { dims: vec![4, 4] });
+        cfg.failures = Some(FailureSpec { count: 0, seed: 1 });
+        let err = run_experiment(&cfg).unwrap_err();
+        assert!(
+            matches!(err, ExperimentError::InvalidFailures { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_sim_config_rejected_before_building() {
+        let mut cfg = reduce_cfg(TopologySpec::Torus { dims: vec![4, 4] });
+        cfg.sim.ejection_bps = f64::NEG_INFINITY;
+        let err = run_experiment(&cfg).unwrap_err();
+        match err {
+            ExperimentError::Sim {
+                sim: exaflow_sim::SimError::InvalidConfig { field, .. },
+            } => assert_eq!(field, "ejection_bps"),
+            other => panic!("expected nested InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn result_records_applied_failure_count() {
+        let mut cfg = reduce_cfg(TopologySpec::Torus { dims: vec![4, 4] });
+        cfg.workload = WorkloadSpec::Reduce {
+            tasks: 8,
+            bytes: 1 << 16,
+        };
+        cfg.failures = Some(FailureSpec { count: 2, seed: 5 });
+        let res = run_experiment(&cfg).unwrap();
+        assert_eq!(res.failed_cables_requested, 2);
+        assert_eq!(res.failed_cables_applied, 2);
+
+        // An oversized request is visible as a shortfall, not silent. A
+        // single-task Reduce generates no flows, so the run succeeds even
+        // if the heavily-degraded network lost connectivity.
+        cfg.workload = WorkloadSpec::Reduce { tasks: 1, bytes: 1 };
+        cfg.failures = Some(FailureSpec {
+            count: 1000,
+            seed: 5,
+        });
+        let res = run_experiment(&cfg).unwrap();
+        assert_eq!(res.failed_cables_requested, 1000);
+        assert!(res.failed_cables_applied < 1000);
     }
 
     #[test]

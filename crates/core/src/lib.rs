@@ -40,10 +40,11 @@
 //! let mapping = TaskMapping::linear(8, topo.num_endpoints());
 //! let dag = workload.generate(&mapping);
 //!
-//! let report = Simulator::new(topo.as_ref()).run(&dag);
+//! let report = Simulator::new(topo.as_ref()).run(&dag).unwrap();
 //! assert!(report.makespan_seconds > 0.0);
 //! ```
 
+pub mod error;
 pub mod experiment;
 pub mod normalize;
 pub mod presets;
@@ -51,6 +52,7 @@ pub mod scale;
 pub mod suite;
 pub mod topospec;
 
+pub use error::ExperimentError;
 pub use experiment::{
     run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, MappingSpec,
 };
@@ -69,6 +71,7 @@ pub use exaflow_workloads as workloads;
 
 /// Everything a typical user needs.
 pub mod prelude {
+    pub use crate::error::ExperimentError;
     pub use crate::experiment::{
         run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, MappingSpec,
     };
@@ -80,7 +83,7 @@ pub mod prelude {
         channel_load_survey, distance_stats_exact, distance_survey, DistanceStats, LoadStats,
     };
     pub use exaflow_netgraph::{LinkId, Network, NodeId};
-    pub use exaflow_sim::{FlowDag, FlowDagBuilder, SimConfig, SimReport, Simulator};
+    pub use exaflow_sim::{FlowDag, FlowDagBuilder, SimConfig, SimError, SimReport, Simulator};
     pub use exaflow_system::{CostModel, SystemHierarchy};
     pub use exaflow_topo::{
         ConnectionRule, Degraded, Dragonfly, GeneralizedHypercube, Jellyfish, KAryTree, Nested,

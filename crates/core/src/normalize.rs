@@ -56,6 +56,8 @@ mod tests {
             events: 1,
             maxmin_iterations: 0,
             wall_seconds: 0.0,
+            failed_cables_requested: 0,
+            failed_cables_applied: 0,
         }
     }
 

@@ -33,6 +33,7 @@
 //! assert_eq!(run.report.succeeded, 2);
 //! ```
 
+use crate::error::ExperimentError;
 use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -51,8 +52,9 @@ pub struct ExperimentSuite {
 #[derive(Clone, Debug)]
 pub struct SuiteRun {
     /// One entry per submitted config, in submission order. A panicking or
-    /// invalid experiment yields `Err` without affecting its neighbours.
-    pub results: Vec<Result<ExperimentResult, String>>,
+    /// invalid experiment yields a typed [`ExperimentError`] without
+    /// affecting its neighbours.
+    pub results: Vec<Result<ExperimentResult, ExperimentError>>,
     /// Aggregate statistics over the whole batch.
     pub report: SuiteReport,
 }
@@ -146,10 +148,17 @@ impl ExperimentSuite {
         let mut experiment_wall = 0.0;
         for outcome in outcomes {
             // Flatten panic (outer) and config (inner) failures into one
-            // error channel: callers see `Err` either way.
+            // typed error channel: callers see `Err` either way, with a
+            // panic distinguishable from an input error.
             let entry = match outcome.value {
                 Ok(inner) => inner,
-                Err(panic_msg) => Err(panic_msg),
+                // scoped_map prefixes its message with "panicked: "; the
+                // variant already says that.
+                Err(message) => Err(ExperimentError::Panicked {
+                    message: message
+                        .strip_prefix("panicked: ")
+                        .map_or(message.clone(), str::to_owned),
+                }),
             };
             if let Ok(res) = &entry {
                 flows += res.flows;

@@ -1,9 +1,17 @@
 //! Declarative topology configuration.
 
+use crate::error::ExperimentError;
 use exaflow_topo::{
     ConnectionRule, Dragonfly, GeneralizedHypercube, Jellyfish, KAryTree, Nested, Topology, Torus,
     UpperTierKind,
 };
+
+/// Shorthand for [`ExperimentError::InvalidTopology`].
+fn invalid(reason: impl Into<String>) -> ExperimentError {
+    ExperimentError::InvalidTopology {
+        reason: reason.into(),
+    }
+}
 use serde::{Deserialize, Serialize};
 
 /// Every topology of the study, as tagged configuration data.
@@ -70,19 +78,20 @@ impl TopologySpec {
         }
     }
 
-    /// Instantiate the topology.
-    pub fn build(&self) -> Result<Box<dyn Topology>, String> {
+    /// Instantiate the topology, or explain why the spec is invalid as a
+    /// typed [`ExperimentError::InvalidTopology`].
+    pub fn build(&self) -> Result<Box<dyn Topology>, ExperimentError> {
         match self {
             TopologySpec::Torus { dims } => {
                 if dims.is_empty() {
-                    return Err("torus needs at least one dimension".into());
+                    return Err(invalid("torus needs at least one dimension"));
                 }
                 Ok(Box::new(Torus::new(dims)))
             }
             TopologySpec::Fattree { k, n, endpoints } => {
                 let eps = endpoints.unwrap_or((*k as usize).pow(*n));
                 if *k < 2 || *n < 1 {
-                    return Err(format!("invalid fattree parameters k={k}, n={n}"));
+                    return Err(invalid(format!("invalid fattree parameters k={k}, n={n}")));
                 }
                 Ok(Box::new(KAryTree::with_endpoints(*k, *n, eps)))
             }
@@ -92,7 +101,7 @@ impl TopologySpec {
                 endpoints,
             } => {
                 if dims.is_empty() || *ports_per_router == 0 {
-                    return Err("invalid GHC parameters".into());
+                    return Err(invalid("invalid GHC parameters"));
                 }
                 let routers: usize = dims.iter().map(|&d| d as usize).product();
                 let eps = endpoints.unwrap_or(routers * *ports_per_router as usize);
@@ -109,21 +118,21 @@ impl TopologySpec {
                 u,
             } => {
                 let rule = ConnectionRule::from_u(*u)
-                    .ok_or_else(|| format!("u must be 1, 2, 4 or 8, got {u}"))?;
+                    .ok_or_else(|| invalid(format!("u must be 1, 2, 4 or 8, got {u}")))?;
                 if *t < 2 {
-                    return Err(format!("subtorus size t={t} must be >= 2"));
+                    return Err(invalid(format!("subtorus size t={t} must be >= 2")));
                 }
                 Ok(Box::new(Nested::new(*upper, *subtori, *t, rule)))
             }
             TopologySpec::Dragonfly { groups, a, p, h } => {
                 if *groups == 0 || *a == 0 || *p == 0 || *h == 0 {
-                    return Err("dragonfly parameters must be positive".into());
+                    return Err(invalid("dragonfly parameters must be positive"));
                 }
                 if *groups > *a * *h + 1 {
-                    return Err(format!(
+                    return Err(invalid(format!(
                         "{groups} groups exceed the {} a dragonfly with a={a}, h={h} supports",
                         *a * *h + 1
-                    ));
+                    )));
                 }
                 Ok(Box::new(Dragonfly::new(*groups, *a, *p, *h)))
             }
@@ -139,7 +148,7 @@ impl TopologySpec {
                     || *fabric_degree >= *switches
                     || !(*switches as u64 * *fabric_degree as u64).is_multiple_of(2)
                 {
-                    return Err("invalid jellyfish parameters".into());
+                    return Err(invalid("invalid jellyfish parameters"));
                 }
                 Ok(Box::new(Jellyfish::new(
                     *switches,

@@ -2,6 +2,7 @@
 //! optional per-hop latency and per-link accounting.
 
 use crate::dag::{FlowDag, FlowId};
+use crate::error::SimError;
 use crate::maxmin::MaxMinSolver;
 use crate::report::SimReport;
 use exaflow_netgraph::NodeId;
@@ -11,7 +12,12 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Engine configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Deserialization validates the numeric fields (see
+/// [`SimConfig::validate`]): a config with a non-finite or negative rate,
+/// epsilon or latency is rejected at the JSON boundary instead of stalling
+/// or poisoning the event heap deep inside a run.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct SimConfig {
     /// Endpoint injection (NIC transmit) capacity, bits/second.
     pub injection_bps: f64,
@@ -47,6 +53,45 @@ pub struct SimConfig {
     pub route_cache_cap: usize,
 }
 
+impl SimConfig {
+    /// Check every numeric field against its domain: NIC rates must be
+    /// finite and strictly positive, the batching epsilon and latencies
+    /// finite and non-negative. Called by [`Simulator::run`] and by the
+    /// `Deserialize` impl, so an invalid config is a typed
+    /// [`SimError::InvalidConfig`] at the boundary — never a zero-rate
+    /// stall or a NaN in the delayed-activation heap.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let positive = [
+            ("injection_bps", self.injection_bps),
+            ("ejection_bps", self.ejection_bps),
+        ];
+        for (field, value) in positive {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(SimError::invalid_config(
+                    field,
+                    value,
+                    "must be finite and > 0",
+                ));
+            }
+        }
+        let non_negative = [
+            ("batch_epsilon", self.batch_epsilon),
+            ("per_hop_latency_s", self.per_hop_latency_s),
+            ("startup_latency_s", self.startup_latency_s),
+        ];
+        for (field, value) in non_negative {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(SimError::invalid_config(
+                    field,
+                    value,
+                    "must be finite and >= 0",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
@@ -60,6 +105,44 @@ impl Default for SimConfig {
             cache_routes: true,
             route_cache_cap: 1 << 21,
         }
+    }
+}
+
+/// Unvalidated mirror of [`SimConfig`] carrying the derive-generated field
+/// logic; the manual `Deserialize` below funnels it through
+/// [`SimConfig::validate`] so malformed JSON surfaces as a config error.
+#[derive(Deserialize)]
+struct SimConfigUnchecked {
+    injection_bps: f64,
+    ejection_bps: f64,
+    batch_epsilon: f64,
+    #[serde(default)]
+    per_hop_latency_s: f64,
+    #[serde(default)]
+    startup_latency_s: f64,
+    record_flow_times: bool,
+    #[serde(default)]
+    collect_link_stats: bool,
+    cache_routes: bool,
+    route_cache_cap: usize,
+}
+
+impl serde::de::Deserialize for SimConfig {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::de::Error> {
+        let raw = SimConfigUnchecked::from_value(value)?;
+        let cfg = SimConfig {
+            injection_bps: raw.injection_bps,
+            ejection_bps: raw.ejection_bps,
+            batch_epsilon: raw.batch_epsilon,
+            per_hop_latency_s: raw.per_hop_latency_s,
+            startup_latency_s: raw.startup_latency_s,
+            record_flow_times: raw.record_flow_times,
+            collect_link_stats: raw.collect_link_stats,
+            cache_routes: raw.cache_routes,
+            route_cache_cap: raw.route_cache_cap,
+        };
+        cfg.validate().map_err(serde::de::Error::custom)?;
+        Ok(cfg)
     }
 }
 
@@ -127,19 +210,25 @@ impl<'a> Simulator<'a> {
 
     /// Simulate `dag` to completion and return the report.
     ///
-    /// Panics if the DAG references endpoints outside the topology.
-    pub fn run(&self, dag: &FlowDag) -> SimReport {
+    /// Returns a typed [`SimError`] for every input-dependent failure: an
+    /// invalid [`SimConfig`], a DAG referencing endpoints outside the
+    /// topology, an unreachable destination (failed links partitioning the
+    /// network), or a stalled rate allocation. Panics are reserved for
+    /// internal invariant violations.
+    pub fn run(&self, dag: &FlowDag) -> Result<SimReport, SimError> {
+        self.cfg.validate()?;
         if let Some(max_ep) = dag.max_endpoint() {
-            assert!(
-                (max_ep as usize) < self.num_eps,
-                "DAG references endpoint {max_ep} but topology has {}",
-                self.num_eps
-            );
+            if max_ep as usize >= self.num_eps {
+                return Err(SimError::EndpointOutOfRange {
+                    endpoint: max_ep,
+                    num_endpoints: self.num_eps as u64,
+                });
+            }
         }
         let n = dag.len();
         let (succ_offsets, succs) = dag.successors();
 
-        let mut solver = MaxMinSolver::new(self.resource_capacities());
+        let mut solver = MaxMinSolver::new(self.resource_capacities())?;
         let mut route_cache: HashMap<(u32, u32), Box<[u32]>> = HashMap::new();
 
         // Per-flow state.
@@ -201,14 +290,14 @@ impl<'a> Simulator<'a> {
                         if let Some(p) = route_cache.get(&(spec.src, spec.dst)) {
                             p.clone()
                         } else {
-                            let p = self.build_path(spec.src, spec.dst, &mut path_scratch);
+                            let p = self.build_path(spec.src, spec.dst, &mut path_scratch)?;
                             if route_cache.len() < self.cfg.route_cache_cap {
                                 route_cache.insert((spec.src, spec.dst), p.clone());
                             }
                             p
                         }
                     } else {
-                        self.build_path(spec.src, spec.dst, &mut path_scratch)
+                        self.build_path(spec.src, spec.dst, &mut path_scratch)?
                     };
                     if latency_model {
                         // Physical hops = path minus the two NIC resources.
@@ -262,10 +351,9 @@ impl<'a> Simulator<'a> {
                     dt = t;
                 }
             }
-            assert!(
-                dt.is_finite(),
-                "deadlock: active flows with zero rate at t={now}"
-            );
+            if !dt.is_finite() {
+                return Err(self.stall_error(now, &active_ids, &active_paths, &rates, &solver));
+            }
 
             // A delayed activation may precede the earliest completion.
             if let Some(Reverse((Time(t_act), _))) = delayed.peek() {
@@ -339,12 +427,14 @@ impl<'a> Simulator<'a> {
             activate_ready!();
         }
 
+        // Internal invariant, not an input error: the builder guarantees
+        // acyclicity, so an incomplete run is an engine bug.
         assert_eq!(
             completed, n,
             "simulation ended with {completed} of {n} flows incomplete (cyclic deps?)"
         );
 
-        SimReport {
+        Ok(SimReport {
             makespan_seconds: now,
             flows: n as u64,
             events,
@@ -361,6 +451,44 @@ impl<'a> Simulator<'a> {
             },
             num_links: self.num_links as u64,
             num_endpoints: self.num_eps as u64,
+        })
+    }
+
+    /// Diagnose a stalled rate allocation: name the zero-rate flows and the
+    /// suspected bottleneck (smallest-capacity resource on the first
+    /// stalled flow's path) so a bulk-sweep entry is debuggable without a
+    /// rerun.
+    fn stall_error(
+        &self,
+        now: f64,
+        active_ids: &[u32],
+        active_paths: &[Box<[u32]>],
+        rates: &[f64],
+        solver: &MaxMinSolver,
+    ) -> SimError {
+        const MAX_REPORTED: usize = 8;
+        let mut stalled = Vec::new();
+        let mut resource = None;
+        for (i, &f) in active_ids.iter().enumerate() {
+            if rates[i] > 0.0 {
+                continue;
+            }
+            if resource.is_none() {
+                resource = active_paths[i].iter().copied().min_by(|&a, &b| {
+                    solver
+                        .capacity(a)
+                        .partial_cmp(&solver.capacity(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+            }
+            if stalled.len() < MAX_REPORTED {
+                stalled.push(f);
+            }
+        }
+        SimError::Stalled {
+            time: now,
+            flows: stalled,
+            resource,
         }
     }
 
@@ -390,20 +518,28 @@ impl<'a> Simulator<'a> {
     }
 
     /// Materialise the resource path of a flow: injection resource, physical
-    /// route links, ejection resource.
+    /// route links, ejection resource. An unreachable destination (failed
+    /// links partitioning the network) is a typed error, not a panic.
     fn build_path(
         &self,
         src: u32,
         dst: u32,
         scratch: &mut Vec<exaflow_netgraph::LinkId>,
-    ) -> Box<[u32]> {
+    ) -> Result<Box<[u32]>, SimError> {
         scratch.clear();
-        self.topo.route(NodeId(src), NodeId(dst), scratch);
+        self.topo
+            .try_route(NodeId(src), NodeId(dst), scratch)
+            .map_err(|e| SimError::Unreachable {
+                src,
+                dst,
+                topology: e.topology,
+                failed_links: e.failed_links as u64,
+            })?;
         let mut path = Vec::with_capacity(scratch.len() + 2);
         path.push(self.injection_resource(src));
         path.extend(scratch.iter().map(|l| l.0));
         path.push(self.ejection_resource(dst));
-        path.into_boxed_slice()
+        Ok(path.into_boxed_slice())
     }
 }
 
@@ -430,7 +566,7 @@ mod tests {
         let sim = Simulator::new(&topo);
         let mut b = FlowDagBuilder::new();
         b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         assert!((r.makespan_seconds - xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12);
         assert_eq!(r.flows, 1);
         assert_eq!(r.events, 1);
@@ -443,7 +579,7 @@ mod tests {
         let mut b = FlowDagBuilder::new();
         b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
         b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         assert!((r.makespan_seconds - 2.0 * xfer(mb(1), 10.0 * GBPS)).abs() < 1e-9);
         assert_eq!(r.events, 1);
     }
@@ -455,7 +591,7 @@ mod tests {
         let mut b = FlowDagBuilder::new();
         b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
         b.add_flow(NodeId(1), NodeId(0), mb(1), &[]);
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         assert!((r.makespan_seconds - xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12);
     }
 
@@ -467,7 +603,7 @@ mod tests {
         let a = b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
         let c = b.add_flow(NodeId(1), NodeId(2), mb(1), &[a]);
         b.add_flow(NodeId(2), NodeId(3), mb(1), &[c]);
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         assert!((r.makespan_seconds - 3.0 * xfer(mb(1), 10.0 * GBPS)).abs() < 1e-9);
         assert_eq!(r.events, 3);
     }
@@ -484,7 +620,7 @@ mod tests {
             for s in 1..16u32 {
                 b.add_flow(NodeId(s), NodeId(0), mb(1), &[]);
             }
-            let r = sim.run(&b.build());
+            let r = sim.run(&b.build()).unwrap();
             let expect = xfer(mb(15), 10.0 * GBPS);
             assert!(
                 (r.makespan_seconds - expect).abs() / expect < 1e-6,
@@ -503,7 +639,7 @@ mod tests {
         let a = b.add_flow(NodeId(0), NodeId(1), 0, &[]);
         let c = b.add_barrier(&[a]);
         b.add_flow(NodeId(2), NodeId(2), mb(5), &[c]); // self traffic: instant
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         assert_eq!(r.makespan_seconds, 0.0);
         assert_eq!(r.events, 0);
     }
@@ -512,7 +648,7 @@ mod tests {
     fn empty_dag_runs() {
         let topo = Torus::new(&[4]);
         let sim = Simulator::new(&topo);
-        let r = sim.run(&FlowDagBuilder::new().build());
+        let r = sim.run(&FlowDagBuilder::new().build()).unwrap();
         assert_eq!(r.makespan_seconds, 0.0);
         assert_eq!(r.flows, 0);
     }
@@ -528,7 +664,7 @@ mod tests {
         let mut b = FlowDagBuilder::new();
         let a = b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
         let c = b.add_flow(NodeId(1), NodeId(2), mb(2), &[a]);
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         let times = r.completion_times.as_ref().unwrap();
         let step = xfer(mb(1), 10.0 * GBPS);
         assert!((times[a.index()] - step).abs() < 1e-12);
@@ -543,18 +679,112 @@ mod tests {
         for i in 0..4u32 {
             b.add_flow(NodeId(2 * i), NodeId(2 * i + 1), mb(1), &[]);
         }
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         assert!((r.makespan_seconds - xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "references endpoint")]
-    fn out_of_range_endpoint_panics() {
+    fn out_of_range_endpoint_is_typed_error() {
         let topo = Torus::new(&[4]);
         let sim = Simulator::new(&topo);
         let mut b = FlowDagBuilder::new();
         b.add_flow(NodeId(0), NodeId(99), 1, &[]);
-        sim.run(&b.build());
+        let err = sim.run(&b.build()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::EndpointOutOfRange {
+                    endpoint: 99,
+                    num_endpoints: 4
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn nan_latency_is_invalid_config() {
+        let topo = Torus::new(&[4]);
+        let cfg = SimConfig {
+            per_hop_latency_s: f64::NAN,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let err = sim.run(&b.build()).unwrap_err();
+        match err {
+            SimError::InvalidConfig { field, value, .. } => {
+                assert_eq!(field, "per_hop_latency_s");
+                assert_eq!(value, "NaN");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_injection_rate_is_invalid_config_not_stall() {
+        // This used to stall the engine (all rates zero) and die on an
+        // assert; it must now be rejected up front with the field named.
+        let topo = Torus::new(&[4]);
+        let cfg = SimConfig {
+            injection_bps: 0.0,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let err = sim.run(&b.build()).unwrap_err();
+        match err {
+            SimError::InvalidConfig { field, .. } => assert_eq!(field, "injection_bps"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rate_rejected_at_deserialization() {
+        let json = r#"{
+            "injection_bps": -1.0,
+            "ejection_bps": 1e10,
+            "batch_epsilon": 1e-9,
+            "record_flow_times": false,
+            "cache_routes": true,
+            "route_cache_cap": 1024
+        }"#;
+        let err = serde_json::from_str::<SimConfig>(json).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("injection_bps"), "{msg}");
+    }
+
+    #[test]
+    fn partition_is_unreachable_error_not_panic() {
+        use exaflow_topo::Degraded;
+        // Ring 0-1-2-3; failing both directions of cables (0,1) and (2,3)
+        // splits {0,3} from {1,2}, so 0 -> 1 cannot route.
+        let base = Torus::new(&[4]);
+        let mut cut = Vec::new();
+        let net = base.network();
+        for (a, b) in [(0u32, 1u32), (2, 3)] {
+            cut.push(net.find_physical_link(NodeId(a), NodeId(b)).unwrap());
+            cut.push(net.find_physical_link(NodeId(b), NodeId(a)).unwrap());
+        }
+        let degraded = Degraded::new(base, cut);
+        let sim = Simulator::new(&degraded);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let err = sim.run(&b.build()).unwrap_err();
+        match err {
+            SimError::Unreachable {
+                src,
+                dst,
+                failed_links,
+                ..
+            } => {
+                assert_eq!((src, dst), (0, 1));
+                assert_eq!(failed_links, 4);
+            }
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
     }
 
     #[test]
@@ -578,6 +808,7 @@ mod tests {
             };
             Simulator::with_config(&topo, cfg)
                 .run(&dag)
+                .unwrap()
                 .makespan_seconds
         };
         assert_eq!(run(true), run(false));
@@ -596,7 +827,7 @@ mod tests {
                 batch_epsilon: eps,
                 ..SimConfig::default()
             };
-            Simulator::with_config(&topo, cfg).run(&dag).events
+            Simulator::with_config(&topo, cfg).run(&dag).unwrap().events
         };
         assert!(run(1e-3) < run(1e-12));
     }
@@ -613,7 +844,7 @@ mod tests {
         let mut b = FlowDagBuilder::new();
         // 0 -> 2 is two hops.
         b.add_flow(NodeId(0), NodeId(2), mb(1), &[]);
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         let expect = 5e-6 + 2.0 * 1e-6 + xfer(mb(1), 10.0 * GBPS);
         assert!(
             (r.makespan_seconds - expect).abs() < 1e-12,
@@ -635,7 +866,7 @@ mod tests {
         let mut b = FlowDagBuilder::new();
         b.add_flow(NodeId(0), NodeId(1), mb(1), &[]); // 1 hop: starts at 1ms
         b.add_flow(NodeId(7), NodeId(1), mb(1), &[]); // 2 hops: starts at 2ms
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         assert!(r.makespan_seconds > 2e-3);
         assert!(r.makespan_seconds < 4.5e-3);
         assert_eq!(r.flows, 2);
@@ -653,7 +884,7 @@ mod tests {
         let mut b = FlowDagBuilder::new();
         let a = b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
         let c = b.add_flow(NodeId(1), NodeId(2), mb(1), &[a]);
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         let times = r.completion_times.unwrap();
         let step = 1e-3 + xfer(mb(1), 10.0 * GBPS);
         assert!((times[a.index()] - step).abs() < 1e-9);
@@ -671,7 +902,7 @@ mod tests {
         let mut b = FlowDagBuilder::new();
         b.add_flow(NodeId(0), NodeId(2), mb(1), &[]); // 2 hops + inj + ej
         b.add_flow(NodeId(4), NodeId(5), mb(2), &[]); // 1 hop + inj + ej
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         let bytes = r.resource_bytes.as_ref().unwrap();
         let total: f64 = bytes.iter().sum();
         // Flow 1 crosses 4 resources with 1 MB, flow 2 crosses 3 with 2 MB.
@@ -699,7 +930,7 @@ mod tests {
         for i in 0..8u32 {
             b.add_flow(NodeId(i), NodeId(15 - i), mb(1), &[]);
         }
-        let r = sim.run(&b.build());
+        let r = sim.run(&b.build()).unwrap();
         assert!(r.makespan_seconds > 0.0);
         let bytes = r.resource_bytes.unwrap();
         assert!(bytes.iter().sum::<f64>() > 0.0);

@@ -24,9 +24,11 @@
 
 pub mod dag;
 pub mod engine;
+pub mod error;
 pub mod maxmin;
 pub mod report;
 
 pub use dag::{FlowDag, FlowDagBuilder, FlowId, FlowSpec};
 pub use engine::{SimConfig, Simulator};
+pub use error::SimError;
 pub use report::SimReport;

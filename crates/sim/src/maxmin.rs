@@ -16,11 +16,12 @@
 //! (the engine recomputes rates at every completion event), with touched
 //! lists to avoid `O(total resources)` clearing.
 
+use crate::error::SimError;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Heap entry: min-share ordering with lazy invalidation by version.
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct HeapEntry {
     share: f64,
     resource: u32,
@@ -51,6 +52,7 @@ impl Ord for HeapEntry {
 /// `R` resources with fixed capacities are registered at construction; each
 /// [`MaxMinSolver::solve`] call computes rates for an arbitrary set of flows
 /// over those resources.
+#[derive(Debug)]
 pub struct MaxMinSolver {
     capacity: Vec<f64>,
     // Per-resource scratch, valid only for resources in `touched`.
@@ -69,9 +71,25 @@ pub struct MaxMinSolver {
 
 impl MaxMinSolver {
     /// Create a solver over `capacities` (bits/second per resource).
-    pub fn new(capacities: Vec<f64>) -> Self {
+    ///
+    /// Every capacity must be finite and strictly positive: a zero or
+    /// negative capacity would hand out a zero rate and stall every flow
+    /// crossing the resource, and a NaN would poison the bottleneck heap.
+    /// Rejecting them here turns that whole deadlock class into a typed
+    /// error at construction time.
+    pub fn new(capacities: Vec<f64>) -> Result<Self, SimError> {
+        if let Some((i, &c)) = capacities
+            .iter()
+            .enumerate()
+            .find(|&(_, &c)| !(c.is_finite() && c > 0.0))
+        {
+            return Err(SimError::InvalidCapacity {
+                resource: i as u32,
+                capacity: format!("{c}"),
+            });
+        }
         let r = capacities.len();
-        MaxMinSolver {
+        Ok(MaxMinSolver {
             capacity: capacities,
             remaining: vec![0.0; r],
             count: vec![0; r],
@@ -82,12 +100,17 @@ impl MaxMinSolver {
             res_flows: Vec::new(),
             heap: BinaryHeap::new(),
             iterations: 0,
-        }
+        })
     }
 
     /// Number of registered resources.
     pub fn num_resources(&self) -> usize {
         self.capacity.len()
+    }
+
+    /// Registered capacity of resource `r` (bits/second).
+    pub fn capacity(&self, r: u32) -> f64 {
+        self.capacity[r as usize]
     }
 
     /// Compute the max-min fair rates for the flows whose resource paths
@@ -207,7 +230,7 @@ mod tests {
     use super::*;
 
     fn solve(caps: &[f64], paths: &[&[u32]]) -> Vec<f64> {
-        let mut s = MaxMinSolver::new(caps.to_vec());
+        let mut s = MaxMinSolver::new(caps.to_vec()).unwrap();
         let mut rates = vec![0.0; paths.len()];
         s.solve(paths, &mut rates);
         rates
@@ -252,8 +275,36 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_rejected() {
+        let err = MaxMinSolver::new(vec![1.0, 0.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidCapacity {
+                resource: 1,
+                capacity: "0".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn negative_and_nan_capacities_rejected() {
+        assert!(matches!(
+            MaxMinSolver::new(vec![-1.0]),
+            Err(SimError::InvalidCapacity { resource: 0, .. })
+        ));
+        assert!(matches!(
+            MaxMinSolver::new(vec![5.0, f64::NAN]),
+            Err(SimError::InvalidCapacity { resource: 1, .. })
+        ));
+        assert!(matches!(
+            MaxMinSolver::new(vec![f64::INFINITY]),
+            Err(SimError::InvalidCapacity { resource: 0, .. })
+        ));
+    }
+
+    #[test]
     fn no_flows() {
-        let mut s = MaxMinSolver::new(vec![1.0; 4]);
+        let mut s = MaxMinSolver::new(vec![1.0; 4]).unwrap();
         let mut rates: Vec<f64> = vec![];
         s.solve(&[] as &[&[u32]], &mut rates);
     }
@@ -285,7 +336,7 @@ mod tests {
 
     #[test]
     fn solver_reusable_across_calls() {
-        let mut s = MaxMinSolver::new(vec![4.0, 4.0]);
+        let mut s = MaxMinSolver::new(vec![4.0, 4.0]).unwrap();
         let mut rates = vec![0.0; 2];
         let paths1: Vec<&[u32]> = vec![&[0], &[0]];
         s.solve(&paths1, &mut rates);
@@ -303,7 +354,7 @@ mod tests {
     fn many_flows_one_bottleneck() {
         let n = 1000;
         let paths: Vec<Vec<u32>> = (0..n).map(|_| vec![0u32]).collect();
-        let mut s = MaxMinSolver::new(vec![1000.0]);
+        let mut s = MaxMinSolver::new(vec![1000.0]).unwrap();
         let mut rates = vec![0.0; n];
         s.solve(&paths, &mut rates);
         for &r in &rates {

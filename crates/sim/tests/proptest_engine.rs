@@ -38,7 +38,7 @@ proptest! {
             b.add_flow(NodeId(*s), NodeId(*d), *bytes, &deps);
         }
         let dag = b.build();
-        let report = Simulator::new(&topo).run(&dag);
+        let report = Simulator::new(&topo).run(&dag).unwrap();
 
         // Upper bound: fully serial execution of every flow at line rate.
         let serial: f64 = flows
@@ -68,8 +68,8 @@ proptest! {
             b.add_flow(NodeId(*s), NodeId(*d), *bytes, &deps);
         }
         let dag = b.build();
-        let a = Simulator::new(&topo).run(&dag);
-        let b2 = Simulator::new(&topo).run(&dag);
+        let a = Simulator::new(&topo).run(&dag).unwrap();
+        let b2 = Simulator::new(&topo).run(&dag).unwrap();
         prop_assert_eq!(a.makespan_seconds, b2.makespan_seconds);
         prop_assert_eq!(a.events, b2.events);
     }
@@ -92,7 +92,7 @@ proptest! {
         }
         let dag = b.build();
         let cfg = SimConfig { record_flow_times: true, ..SimConfig::default() };
-        let report = Simulator::with_config(&topo, cfg).run(&dag);
+        let report = Simulator::with_config(&topo, cfg).run(&dag).unwrap();
         let times = report.completion_times.unwrap();
         for (pred, succ) in dep_pairs {
             prop_assert!(
@@ -116,7 +116,7 @@ proptest! {
                 p
             })
             .collect();
-        let mut solver = MaxMinSolver::new(caps.clone());
+        let mut solver = MaxMinSolver::new(caps.clone()).unwrap();
         let mut rates = vec![0.0; paths.len()];
         solver.solve(&paths, &mut rates);
 
@@ -153,7 +153,7 @@ proptest! {
         let dag = b.build();
         let run = |eps: f64| {
             let cfg = SimConfig { batch_epsilon: eps, ..SimConfig::default() };
-            Simulator::with_config(&topo, cfg).run(&dag).makespan_seconds
+            Simulator::with_config(&topo, cfg).run(&dag).unwrap().makespan_seconds
         };
         let exact = run(0.0);
         let loose = run(1e-6);

@@ -26,7 +26,7 @@ fn caps_strategy() -> impl Strategy<Value = Vec<f64>> {
 }
 
 fn solve(caps: &[f64], paths: &[Vec<u32>]) -> Vec<f64> {
-    let mut solver = MaxMinSolver::new(caps.to_vec());
+    let mut solver = MaxMinSolver::new(caps.to_vec()).unwrap();
     let mut rates = vec![0.0; paths.len()];
     solver.solve(paths, &mut rates);
     rates
@@ -110,7 +110,7 @@ proptest! {
         paths_b in paths_strategy(),
         caps in caps_strategy(),
     ) {
-        let mut solver = MaxMinSolver::new(caps.clone());
+        let mut solver = MaxMinSolver::new(caps.clone()).unwrap();
         let mut first = vec![0.0; paths_a.len()];
         solver.solve(&paths_a, &mut first);
         let mut other = vec![0.0; paths_b.len()];

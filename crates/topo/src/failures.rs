@@ -7,18 +7,44 @@
 //! whose deterministic route is unaffected keep their original path, so the
 //! performance impact of a failure stays local — which is what makes the
 //! wrapper useful for availability experiments.
+//!
+//! A destination that became unreachable (the failures partitioned the
+//! network) surfaces as a [`RouteError`] through [`Topology::try_route`];
+//! the infallible [`Topology::route`] keeps the documented panic for
+//! callers that have already validated connectivity.
 
-use crate::Topology;
+use crate::{RouteError, Topology};
 use exaflow_netgraph::{LinkId, Network, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::collections::{HashSet, VecDeque};
+
+/// Reusable per-thread buffers for [`Degraded::is_affected`] and the BFS
+/// reroute: the failure-resilience harness calls both once per flow, and a
+/// fresh path vector plus an O(V) predecessor array per call thrashes the
+/// allocator. Thread-local (rather than interior mutability on `Degraded`)
+/// keeps the wrapper `Sync`, which the parallel suite runner relies on.
+#[derive(Default)]
+struct Scratch {
+    path: Vec<LinkId>,
+    pred: Vec<u32>,
+    queue: VecDeque<NodeId>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
 
 /// A topology with some links out of service.
 pub struct Degraded<T: Topology> {
     inner: T,
     failed: HashSet<u32>,
+    /// Duplex cables asked for / actually failed; both zero for
+    /// [`Degraded::new`], which takes explicit links rather than a count.
+    cables_requested: usize,
+    cables_applied: usize,
 }
 
 impl<T: Topology> Degraded<T> {
@@ -27,6 +53,8 @@ impl<T: Topology> Degraded<T> {
         Degraded {
             inner,
             failed: failed.into_iter().map(|l| l.0).collect(),
+            cables_requested: 0,
+            cables_applied: 0,
         }
     }
 
@@ -35,7 +63,8 @@ impl<T: Topology> Degraded<T> {
     /// and a cable is skipped when it is the last surviving link of either
     /// of its end nodes — a failure study needs a degraded network, not a
     /// partitioned one. Fewer than `count` cables fail if the network runs
-    /// out of safely removable ones.
+    /// out of safely removable ones; compare [`Degraded::cables_applied`]
+    /// against [`Degraded::cables_requested`] to detect the shortfall.
     pub fn with_random_failures(inner: T, count: usize, seed: u64) -> Self {
         let net = inner.network();
         // Collect one representative per duplex pair (src < dst).
@@ -73,7 +102,12 @@ impl<T: Topology> Degraded<T> {
             }
             taken += 1;
         }
-        Degraded { inner, failed }
+        Degraded {
+            inner,
+            failed,
+            cables_requested: count,
+            cables_applied: taken,
+        }
     }
 
     /// The wrapped topology.
@@ -91,54 +125,84 @@ impl<T: Topology> Degraded<T> {
         self.failed.len()
     }
 
-    /// Whether the deterministic route of `(src, dst)` crosses a failure.
-    pub fn is_affected(&self, src: NodeId, dst: NodeId) -> bool {
-        let mut path = Vec::new();
-        self.inner.route(src, dst, &mut path);
-        path.iter().any(|l| self.failed.contains(&l.0))
+    /// Duplex cables requested by [`Degraded::with_random_failures`]
+    /// (zero for [`Degraded::new`]).
+    pub fn cables_requested(&self) -> usize {
+        self.cables_requested
     }
 
-    /// BFS a shortest path over surviving physical links. Panics if `dst`
-    /// became unreachable — the caller injected enough failures to
-    /// partition the network, which is a configuration error for the
-    /// experiments this wrapper supports.
-    fn reroute(&self, src: NodeId, dst: NodeId, out: &mut Vec<LinkId>) {
+    /// Duplex cables actually failed by [`Degraded::with_random_failures`]
+    /// — less than [`Degraded::cables_requested`] when the network ran out
+    /// of safely removable cables (zero for [`Degraded::new`]).
+    pub fn cables_applied(&self) -> usize {
+        self.cables_applied
+    }
+
+    /// Whether the deterministic route of `(src, dst)` crosses a failure.
+    pub fn is_affected(&self, src: NodeId, dst: NodeId) -> bool {
+        // Take the buffer out rather than borrowing across `inner.route`,
+        // which may itself be a `Degraded` using the same scratch.
+        let mut path = SCRATCH.with(|s| std::mem::take(&mut s.borrow_mut().path));
+        path.clear();
+        self.inner.route(src, dst, &mut path);
+        let affected = path.iter().any(|l| self.failed.contains(&l.0));
+        SCRATCH.with(|s| s.borrow_mut().path = path);
+        affected
+    }
+
+    /// BFS a shortest path over surviving physical links, or report the
+    /// partition as a [`RouteError`].
+    fn try_reroute(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) -> Result<(), RouteError> {
         let net = self.inner.network();
         let n = net.num_nodes();
-        let mut pred: Vec<u32> = vec![u32::MAX; n];
-        let mut queue = std::collections::VecDeque::new();
-        pred[src.index()] = u32::MAX - 1; // visited marker for the source
-        queue.push_back(src);
-        'search: while let Some(node) = queue.pop_front() {
-            for &lid in net.out_links(node) {
-                if self.failed.contains(&lid.0) || net.link(lid).is_virtual {
-                    continue;
-                }
-                let next = net.link(lid).dst;
-                if pred[next.index()] == u32::MAX {
-                    pred[next.index()] = lid.0;
-                    if next == dst {
-                        break 'search;
+        SCRATCH.with(|s| {
+            let scratch = &mut *s.borrow_mut();
+            let pred = &mut scratch.pred;
+            pred.clear();
+            pred.resize(n, u32::MAX);
+            let queue = &mut scratch.queue;
+            queue.clear();
+            pred[src.index()] = u32::MAX - 1; // visited marker for the source
+            queue.push_back(src);
+            'search: while let Some(node) = queue.pop_front() {
+                for &lid in net.out_links(node) {
+                    if self.failed.contains(&lid.0) || net.link(lid).is_virtual {
+                        continue;
                     }
-                    queue.push_back(next);
+                    let next = net.link(lid).dst;
+                    if pred[next.index()] == u32::MAX {
+                        pred[next.index()] = lid.0;
+                        if next == dst {
+                            break 'search;
+                        }
+                        queue.push_back(next);
+                    }
                 }
             }
-        }
-        assert!(
-            pred[dst.index()] != u32::MAX,
-            "{}: {src} cannot reach {dst} after {} link failures",
-            self.inner.name(),
-            self.failed.len()
-        );
-        // Walk predecessors back to the source.
-        let start = out.len();
-        let mut at = dst;
-        while at != src {
-            let lid = LinkId(pred[at.index()]);
-            out.push(lid);
-            at = net.link(lid).src;
-        }
-        out[start..].reverse();
+            if pred[dst.index()] == u32::MAX {
+                return Err(RouteError {
+                    src,
+                    dst,
+                    topology: self.inner.name(),
+                    failed_links: self.failed.len(),
+                });
+            }
+            // Walk predecessors back to the source.
+            let start = out.len();
+            let mut at = dst;
+            while at != src {
+                let lid = LinkId(pred[at.index()]);
+                out.push(lid);
+                at = net.link(lid).src;
+            }
+            out[start..].reverse();
+            Ok(())
+        })
     }
 }
 
@@ -151,16 +215,29 @@ impl<T: Topology> Topology for Degraded<T> {
         self.inner.network()
     }
 
+    /// Panics if `dst` became unreachable — use [`Topology::try_route`]
+    /// when the failure set comes from untrusted configuration.
     fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>) {
+        self.try_route(src, dst, path)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        path: &mut Vec<LinkId>,
+    ) -> Result<(), RouteError> {
         if src == dst {
-            return;
+            return Ok(());
         }
         let start = path.len();
         self.inner.route(src, dst, path);
         if path[start..].iter().any(|l| self.failed.contains(&l.0)) {
             path.truncate(start);
-            self.reroute(src, dst, path);
+            self.try_reroute(src, dst, path)?;
         }
+        Ok(())
     }
 
     // Distance falls back to the default (route length): with failures
@@ -203,6 +280,8 @@ mod tests {
     fn all_pairs_survive_scattered_failures() {
         let degraded = Degraded::with_random_failures(Torus::new(&[4, 4, 2]), 4, 7);
         assert!(degraded.num_failed() >= 4); // duplex pairs: 2 per cable
+        assert_eq!(degraded.cables_requested(), 4);
+        assert_eq!(degraded.cables_applied(), 4);
         let e = degraded.num_endpoints() as u32;
         for s in 0..e {
             for d in 0..e {
@@ -225,6 +304,28 @@ mod tests {
     }
 
     #[test]
+    fn oversized_failure_request_truncates_with_signal() {
+        // A 2x2 torus has far fewer than 100 safely removable cables: the
+        // shortfall must be visible, not silent.
+        let d = Degraded::with_random_failures(Torus::new(&[2, 2]), 100, 3);
+        assert_eq!(d.cables_requested(), 100);
+        assert!(d.cables_applied() < 100);
+        // And no node lost its last link (that is the point of the cap;
+        // global connectivity is not guaranteed and partitions surface as
+        // `RouteError` through `try_route`).
+        let net = d.network();
+        for node in 0..net.num_nodes() as u32 {
+            let surviving = net
+                .out_links(NodeId(node))
+                .iter()
+                .filter(|l| !net.link(**l).is_virtual)
+                .filter(|l| !d.failed_links().any(|f| f == **l))
+                .count();
+            assert!(surviving >= 1, "node {node} was isolated");
+        }
+    }
+
+    #[test]
     fn virtual_links_never_failed() {
         // Build a network with virtual links via the simulator convention is
         // not possible from Torus (it has none); assert the torus case
@@ -243,6 +344,24 @@ mod tests {
         let links: Vec<LinkId> = (0..t.network().num_links() as u32).map(LinkId).collect();
         let degraded = Degraded::new(t, links);
         degraded.route_vec(NodeId(0), NodeId(1));
+    }
+
+    #[test]
+    fn partition_is_a_typed_error_via_try_route() {
+        let t = Torus::new(&[2]);
+        let links: Vec<LinkId> = (0..t.network().num_links() as u32).map(LinkId).collect();
+        let failed = links.len();
+        let degraded = Degraded::new(t, links);
+        let mut path = Vec::new();
+        let err = degraded
+            .try_route(NodeId(0), NodeId(1), &mut path)
+            .unwrap_err();
+        assert_eq!(err.src, NodeId(0));
+        assert_eq!(err.dst, NodeId(1));
+        assert_eq!(err.failed_links, failed);
+        assert!(err.to_string().contains("cannot reach"), "{err}");
+        // The output buffer is left clean on failure.
+        assert!(path.is_empty());
     }
 
     #[test]

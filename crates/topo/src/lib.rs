@@ -55,6 +55,37 @@ use exaflow_netgraph::{LinkId, Network, NodeId};
 /// Default link rate of the ExaNeSt transceivers: 10 Gbps.
 pub const LINK_RATE_BPS: f64 = 10e9;
 
+/// Routing failure: `dst` cannot be reached from `src`.
+///
+/// The generators in this crate route totally by construction, so this can
+/// only arise from wrappers that remove connectivity — today, [`Degraded`]
+/// when injected link failures partition the network. Carried up through
+/// [`Topology::try_route`] so bulk experiment drivers see a per-experiment
+/// error instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteError {
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Display name of the topology that failed to route.
+    pub topology: String,
+    /// Number of failed unidirectional links, when failures are in play.
+    pub failed_links: usize,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} cannot reach {} after {} link failures",
+            self.topology, self.src, self.dst, self.failed_links
+        )
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// A network topology with deterministic single-path routing.
 ///
 /// Endpoints are the node ids `0..num_endpoints()`; routing is defined only
@@ -81,6 +112,23 @@ pub trait Topology: Send + Sync {
     /// Append the deterministic route from endpoint `src` to endpoint `dst`
     /// onto `path`. Appends nothing when `src == dst`.
     fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>);
+
+    /// Fallible routing: like [`Topology::route`], but reports an
+    /// unreachable destination as a [`RouteError`] instead of panicking.
+    ///
+    /// The default forwards to `route`, which is total for every generator
+    /// in this crate; wrappers that can lose connectivity ([`Degraded`])
+    /// override it. Engines that consume untrusted configuration should
+    /// call this instead of `route`.
+    fn try_route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        path: &mut Vec<LinkId>,
+    ) -> Result<(), RouteError> {
+        self.route(src, dst, path);
+        Ok(())
+    }
 
     /// Number of physical link hops of the deterministic route.
     ///
@@ -112,6 +160,14 @@ impl Topology for Box<dyn Topology> {
     }
     fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>) {
         self.as_ref().route(src, dst, path)
+    }
+    fn try_route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        path: &mut Vec<LinkId>,
+    ) -> Result<(), RouteError> {
+        self.as_ref().try_route(src, dst, path)
     }
     fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
         self.as_ref().distance(src, dst)

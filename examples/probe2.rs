@@ -15,7 +15,7 @@ fn main() {
         };
         let mapping = TaskMapping::linear(512, 512);
         let dag = w.generate(&mapping);
-        let r = Simulator::new(&n).run(&dag);
+        let r = Simulator::new(&n).run(&dag).unwrap();
         println!(
             "  AllReduce makespan {:.3} ms, {} events",
             r.makespan_seconds * 1e3,

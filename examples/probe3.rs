@@ -8,7 +8,7 @@ fn main() {
     for i in 0..512u32 {
         b.add_flow(NodeId(i), NodeId(i ^ 256), 1 << 20, &[]);
     }
-    let r = Simulator::new(&n).run(&b.build());
+    let r = Simulator::new(&n).run(&b.build()).unwrap();
     println!(
         "one remote round: {:.3} ms (ideal 0.839, 2x-oversub 1.678)",
         r.makespan_seconds * 1e3

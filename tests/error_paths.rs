@@ -1,0 +1,154 @@
+//! End-to-end error-path coverage: a suite mixing valid and differently
+//! invalid experiments must complete, with each failure reported as the
+//! right [`ExperimentError`] variant — never an abort, never a panic
+//! escaping an entry, never a failure poisoning its neighbours.
+
+use exaflow::prelude::*;
+
+fn valid() -> ExperimentConfig {
+    ExperimentConfig {
+        topology: TopologySpec::Torus { dims: vec![4, 4] },
+        workload: WorkloadSpec::AllReduce {
+            tasks: 16,
+            bytes: 1 << 16,
+        },
+        mapping: MappingSpec::Linear,
+        sim: SimConfig::default(),
+        failures: None,
+    }
+}
+
+#[test]
+fn mixed_suite_reports_typed_errors_per_entry() {
+    let mut invalid_topology = valid();
+    invalid_topology.topology = TopologySpec::Torus { dims: vec![] };
+
+    let mut nan_config = valid();
+    nan_config.sim.per_hop_latency_s = f64::NAN;
+
+    let mut zero_rate = valid();
+    zero_rate.sim.injection_bps = 0.0;
+
+    let mut too_many_tasks = valid();
+    too_many_tasks.workload = WorkloadSpec::AllReduce {
+        tasks: 64,
+        bytes: 1 << 16,
+    };
+
+    let mut zero_failures = valid();
+    zero_failures.failures = Some(FailureSpec { count: 0, seed: 1 });
+
+    // A 1-task Reduce has no flows, so an oversized failure request
+    // succeeds with the shortfall recorded rather than erroring.
+    let mut oversized_failures = valid();
+    oversized_failures.workload = WorkloadSpec::Reduce { tasks: 1, bytes: 1 };
+    oversized_failures.failures = Some(FailureSpec {
+        count: 10_000,
+        seed: 2,
+    });
+
+    let configs = vec![
+        valid(),
+        invalid_topology,
+        nan_config,
+        zero_rate,
+        too_many_tasks,
+        zero_failures,
+        oversized_failures,
+        valid(),
+    ];
+    let n = configs.len() as u64;
+    let run = ExperimentSuite::new(configs).threads(4).run();
+
+    assert!(run.results[0].is_ok());
+    assert!(matches!(
+        run.results[1].as_ref().unwrap_err(),
+        ExperimentError::InvalidTopology { .. }
+    ));
+    match run.results[2].as_ref().unwrap_err() {
+        ExperimentError::Sim {
+            sim: SimError::InvalidConfig { field, value, .. },
+        } => {
+            assert_eq!(field, "per_hop_latency_s");
+            assert_eq!(value, "NaN");
+        }
+        other => panic!("expected nested InvalidConfig, got {other:?}"),
+    }
+    match run.results[3].as_ref().unwrap_err() {
+        ExperimentError::Sim {
+            sim: SimError::InvalidConfig { field, .. },
+        } => assert_eq!(field, "injection_bps"),
+        other => panic!("expected nested InvalidConfig, got {other:?}"),
+    }
+    assert!(matches!(
+        run.results[4].as_ref().unwrap_err(),
+        ExperimentError::TooManyTasks {
+            tasks: 64,
+            endpoints: 16,
+            ..
+        }
+    ));
+    assert!(matches!(
+        run.results[5].as_ref().unwrap_err(),
+        ExperimentError::InvalidFailures { .. }
+    ));
+    let truncated = run.results[6].as_ref().unwrap();
+    assert_eq!(truncated.failed_cables_requested, 10_000);
+    assert!(truncated.failed_cables_applied < 10_000);
+    assert!(run.results[7].is_ok());
+
+    // Failures never bleed into neighbours or abort the suite.
+    assert_eq!(run.report.experiments, n);
+    assert_eq!(run.report.succeeded, 3);
+    assert_eq!(run.report.failed, n - 3);
+    // The two healthy AllReduce entries agree bit-for-bit: errors in
+    // between did not perturb scheduling-visible state.
+    assert_eq!(
+        run.results[0].as_ref().unwrap().makespan_seconds,
+        run.results[7].as_ref().unwrap().makespan_seconds
+    );
+}
+
+#[test]
+fn suite_errors_serialize_as_tagged_json() {
+    let mut bad = valid();
+    bad.sim.batch_epsilon = -1.0;
+    let run = ExperimentSuite::new(vec![bad]).threads(1).run();
+    let err = run.results[0].as_ref().unwrap_err();
+    let json = serde_json::to_string(err).unwrap();
+    assert!(json.contains("\"kind\":\"sim\""), "{json}");
+    assert!(json.contains("\"kind\":\"invalid_config\""), "{json}");
+    assert!(json.contains("batch_epsilon"), "{json}");
+    let back: ExperimentError = serde_json::from_str(&json).unwrap();
+    assert_eq!(&back, err);
+}
+
+#[test]
+fn partitioned_network_is_unreachable_error() {
+    // Force a partition deterministically: wrap a 1-D ring and cut both
+    // directions of two cables, splitting {0,3} from {1,2}.
+    use exaflow::sim::FlowDagBuilder;
+    let base = Torus::new(&[4]);
+    let mut cut = Vec::new();
+    for (a, b) in [(0u32, 1u32), (2, 3)] {
+        let net = base.network();
+        cut.push(net.find_physical_link(NodeId(a), NodeId(b)).unwrap());
+        cut.push(net.find_physical_link(NodeId(b), NodeId(a)).unwrap());
+    }
+    let degraded = Degraded::new(base, cut);
+    let mut b = FlowDagBuilder::new();
+    b.add_flow(NodeId(0), NodeId(1), 1 << 20, &[]);
+    let err = Simulator::new(&degraded).run(&b.build()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::Unreachable {
+                src: 0,
+                dst: 1,
+                failed_links: 4,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}

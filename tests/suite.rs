@@ -71,8 +71,9 @@ struct Signature {
     events: Vec<u64>,
 }
 
-fn signature(results: &[Result<ExperimentResult, String>]) -> Signature {
-    let ok = |r: &Result<ExperimentResult, String>| r.as_ref().expect("experiment").clone();
+fn signature(results: &[Result<ExperimentResult, ExperimentError>]) -> Signature {
+    let ok =
+        |r: &Result<ExperimentResult, ExperimentError>| r.as_ref().expect("experiment").clone();
     Signature {
         makespan_seconds: results.iter().map(|r| ok(r).makespan_seconds).collect(),
         flows: results.iter().map(|r| ok(r).flows).collect(),
@@ -123,7 +124,11 @@ fn panicking_config_is_isolated() {
         .run();
     assert!(run.results[0].is_ok());
     let err = run.results[1].as_ref().unwrap_err();
-    assert!(err.contains("panicked"), "unexpected error text: {err}");
+    assert!(
+        matches!(err, ExperimentError::Panicked { .. }),
+        "unexpected error variant: {err:?}"
+    );
+    assert!(err.to_string().contains("panicked"), "{err}");
     assert!(run.results[2].is_ok());
     // Neighbours are unaffected and in input order: recursive-doubling
     // AllReduce gives n·log2(n) flows.
