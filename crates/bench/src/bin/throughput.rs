@@ -95,6 +95,7 @@ fn main() {
                 mapping: MappingSpec::Linear,
                 sim: SimConfig::default(),
                 failures: None,
+                fault_injection: None,
             };
             (cfg, tasks)
         })

@@ -109,6 +109,7 @@ pub fn figure_panel(
         mapping: MappingSpec::Linear,
         sim: SimConfig::default(),
         failures: None,
+        fault_injection: None,
     };
     let grid: Vec<(u32, u32)> = presets::hybrid_grid()
         .into_iter()

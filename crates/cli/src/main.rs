@@ -5,7 +5,12 @@
 //! exaflow run -                  read the config from stdin
 //! exaflow sweep <suite.json>     run a whole suite (JSON array of configs)
 //!                                in parallel; --threads N picks the pool
-//!                                size (1 = serial)
+//!                                size (1 = serial); exits 3 when any
+//!                                entry ended in a typed error
+//! exaflow resilience <spec.json> run a Monte-Carlo resilience campaign
+//!                                (fault rates x recovery policies x
+//!                                replicas) and print per-cell degradation
+//!                                metrics as deterministic JSON
 //! exaflow topo <config.json>     build the topology and print its stats
 //! exaflow sample <name>          print a sample experiment config
 //! exaflow help                   this text
@@ -54,6 +59,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(args.get(1).map(String::as_str)),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("resilience") => cmd_resilience(&args[1..]),
         Some("topo") => cmd_topo(args.get(1).map(String::as_str)),
         Some("sample") => cmd_sample(args.get(1).map(String::as_str)),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -74,7 +80,12 @@ fn print_help() {
     eprintln!("  exaflow run <config.json | ->   run an experiment, print the result as JSON");
     eprintln!("  exaflow sweep <suite.json | -> [--threads <n>]");
     eprintln!("                                  run a JSON array of configs in parallel,");
-    eprintln!("                                  print per-config results + suite metrics");
+    eprintln!("                                  print per-config results + suite metrics;");
+    eprintln!("                                  exit 3 if any entry ended in a typed error");
+    eprintln!("  exaflow resilience <spec.json | -> [--threads <n>]");
+    eprintln!("                                  run a Monte-Carlo fault-injection campaign,");
+    eprintln!("                                  print per-(rate, policy) degradation metrics;");
+    eprintln!("                                  exit 3 on non-fault harness errors");
     eprintln!("  exaflow topo <config.json | ->  build the topology of a config, print stats");
     eprintln!("  exaflow sample [name]           print a sample config (or list names)");
 }
@@ -138,7 +149,9 @@ struct SweepOutput {
     report: SuiteReport,
 }
 
-fn cmd_sweep(args: &[String]) -> i32 {
+/// Parse the shared `<path | -> [--threads <n>]` argument shape used by
+/// `sweep` and `resilience`.
+fn parse_path_threads(args: &[String]) -> Result<(Option<&str>, Option<usize>), String> {
     let mut path: Option<&str> = None;
     let mut threads: Option<usize> = None;
     let mut it = args.iter();
@@ -146,18 +159,23 @@ fn cmd_sweep(args: &[String]) -> i32 {
         match arg.as_str() {
             "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => threads = Some(n),
-                _ => {
-                    eprintln!("error: --threads needs a positive integer");
-                    return 1;
-                }
+                _ => return Err("--threads needs a positive integer".into()),
             },
             other if path.is_none() => path = Some(other),
-            other => {
-                eprintln!("error: unexpected argument '{other}'");
-                return 1;
-            }
+            other => return Err(format!("unexpected argument '{other}'")),
         }
     }
+    Ok((path, threads))
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let (path, threads) = match parse_path_threads(args) {
+        Ok(pt) => pt,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
     let parsed: Result<Vec<ExperimentConfig>, String> = read_body(path)
         .and_then(|body| serde_json::from_str(&body).map_err(|e| format!("parse suite: {e}")));
     let configs = match parsed {
@@ -177,22 +195,90 @@ fn cmd_sweep(args: &[String]) -> i32 {
         run.report.succeeded, run.report.experiments, run.report.wall_seconds, run.report.threads
     );
     for (i, res) in run.results.iter().enumerate() {
-        if let Ok(r) = res {
-            if r.failed_cables_applied < r.failed_cables_requested {
-                eprintln!(
-                    "warning: experiment {i} ({}) applied only {} of {} requested cable \
-                     failures — the topology ran out of safely removable cables",
-                    r.topology, r.failed_cables_applied, r.failed_cables_requested
-                );
-            }
+        if let Err(e) = res {
+            eprintln!("error: experiment {i}: {e}");
         }
     }
+    let failed = run.report.failed;
     let out = SweepOutput {
         results: run.results,
         report: run.report,
     };
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
-    0
+    if failed > 0 {
+        3
+    } else {
+        0
+    }
+}
+
+/// JSON document printed by `exaflow resilience`: the campaign report
+/// under a `"report"` key, kind-tagged so scripted callers can tell it
+/// apart from sweep/run output.
+#[derive(serde::Serialize)]
+struct ResilienceOutput {
+    kind: &'static str,
+    report: ResilienceCampaignReport,
+}
+
+fn cmd_resilience(args: &[String]) -> i32 {
+    let (path, threads) = match parse_path_threads(args) {
+        Ok(pt) => pt,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let parsed: Result<ResilienceCampaignSpec, String> = read_body(path)
+        .and_then(|body| serde_json::from_str(&body).map_err(|e| format!("parse campaign: {e}")));
+    let spec = match parsed {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    match run_resilience_campaign(&spec, threads) {
+        Ok(report) => {
+            eprintln!(
+                "resilience: {} runs ({} rates x {} policies x {} replicas), {} failed",
+                report.total_runs,
+                spec.fault_rates_per_s.len(),
+                spec.policies.len(),
+                report.replicas_per_cell,
+                report.failed_runs,
+            );
+            for cell in &report.cells {
+                eprintln!(
+                    "  rate {:>10.4}/s {:<16} delivered {:>6.2}% inflation p50 {:.3} p99 {:.3}",
+                    cell.fault_rate_per_s,
+                    cell.policy.name(),
+                    cell.delivered_flow_fraction * 100.0,
+                    cell.inflation_p50,
+                    cell.inflation_p99,
+                );
+            }
+            let failed_runs = report.failed_runs;
+            let out = ResilienceOutput {
+                kind: "resilience_campaign",
+                report,
+            };
+            println!("{}", serde_json::to_string_pretty(&out).unwrap());
+            if failed_runs > 0 {
+                3
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&ErrorOutput { error: e }).unwrap()
+            );
+            1
+        }
+    }
 }
 
 fn cmd_topo(path: Option<&str>) -> i32 {

@@ -194,8 +194,11 @@ fn sweep_runs_suite_from_file() {
         .output()
         .unwrap();
     std::fs::remove_file(&path).ok();
-    assert!(
-        out.status.success(),
+    // One entry ends in a typed error, so the sweep exits 3 — scripted
+    // callers see the partial failure without scraping stderr.
+    assert_eq!(
+        out.status.code(),
+        Some(3),
         "stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
@@ -231,7 +234,7 @@ fn sweep_runs_suite_from_file() {
 }
 
 #[test]
-fn sweep_warns_on_truncated_failure_request() {
+fn sweep_over_requested_failures_is_a_typed_error() {
     use std::io::Write;
     let mut child = exaflow()
         .args(["sweep", "-"])
@@ -241,9 +244,9 @@ fn sweep_warns_on_truncated_failure_request() {
         .spawn()
         .unwrap();
     // 50 cable failures cannot be applied to a 4x4 torus (32 cables, and
-    // the last link of a node is never removed). A 1-task Reduce has no
-    // flows, so the experiment succeeds regardless of connectivity and the
-    // shortfall surfaces as a warning plus the recorded counts.
+    // the last link of a node is never removed). That is an inconsistent
+    // spec, not a best-effort request: the entry fails with a typed
+    // `invalid_failures` error and the sweep exits non-zero.
     child
         .stdin
         .as_mut()
@@ -255,18 +258,20 @@ fn sweep_warns_on_truncated_failure_request() {
         )
         .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(
-        out.status.success(),
+    assert_eq!(
+        out.status.code(),
+        Some(3),
         "stderr: {}",
         String::from_utf8_lossy(&out.stderr)
     );
-    let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("warning"), "stderr: {err}");
-    assert!(err.contains("50 requested"), "stderr: {err}");
     let sweep: Sweep = serde_json::from_slice(&out.stdout).expect("valid sweep JSON");
-    let res = sweep.results[0].as_ref().unwrap();
-    assert_eq!(res.failed_cables_requested, 50);
-    assert!(res.failed_cables_applied < 50);
+    let err = sweep.results[0].as_ref().unwrap_err();
+    assert!(
+        matches!(err, exaflow::ExperimentError::InvalidFailures { .. }),
+        "unexpected error: {err:?}"
+    );
+    assert!(err.to_string().contains("50"), "{err}");
+    assert_eq!(sweep.report.failed, 1);
 }
 
 #[test]
@@ -318,6 +323,100 @@ fn sweep_rejects_bad_thread_count() {
     assert_eq!(out.status.code(), Some(1));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--threads"), "stderr: {err}");
+}
+
+const RESILIENCE_SPEC: &str = r#"{
+  "base": {"topology": {"topology": "torus", "dims": [4, 4]},
+           "workload": {"workload": "all_reduce", "tasks": 16, "bytes": 65536}},
+  "fault_rates_per_s": [0.0, 200.0],
+  "policies": ["reroute_resume", "skip_unreachable"],
+  "replicas": 2,
+  "seed": 7
+}"#;
+
+fn run_resilience(spec: &str, extra: &[&str]) -> std::process::Output {
+    use std::io::Write;
+    let mut args = vec!["resilience", "-"];
+    args.extend_from_slice(extra);
+    let mut child = exaflow()
+        .args(&args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(spec.as_bytes())
+        .unwrap();
+    child.wait_with_output().unwrap()
+}
+
+#[test]
+fn resilience_runs_campaign_and_prints_kind_tagged_report() {
+    let out = run_resilience(RESILIENCE_SPEC, &["--threads", "2"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid resilience JSON");
+    assert_eq!(body["kind"], "resilience_campaign");
+    let report = &body["report"];
+    assert_eq!(report["total_runs"], 8); // 2 rates x 2 policies x 2 replicas
+    assert_eq!(report["failed_runs"], 0);
+    assert!(report["baseline_makespan_seconds"].as_f64().unwrap() > 0.0);
+    let cells = report["cells"].as_array().unwrap();
+    assert_eq!(cells.len(), 4);
+    // Zero-rate cells reproduce the baseline exactly.
+    for cell in cells.iter().filter(|c| c["fault_rate_per_s"] == 0.0) {
+        assert_eq!(cell["inflation_mean"], 1.0, "{cell:?}");
+        assert_eq!(cell["delivered_flow_fraction"], 1.0, "{cell:?}");
+        assert_eq!(cell["mean_fault_events"], 0.0, "{cell:?}");
+    }
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("8 runs"), "stderr: {err}");
+}
+
+#[test]
+fn resilience_output_is_identical_across_thread_counts() {
+    let serial = run_resilience(RESILIENCE_SPEC, &["--threads", "1"]);
+    let parallel = run_resilience(RESILIENCE_SPEC, &["--threads", "8"]);
+    assert!(serial.status.success());
+    assert!(parallel.status.success());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "campaign stdout must be bit-identical across thread counts"
+    );
+}
+
+#[test]
+fn resilience_rejects_invalid_campaign_with_typed_error() {
+    // replicas: 0 is caught by campaign validation, not serde.
+    let spec = r#"{
+      "base": {"topology": {"topology": "torus", "dims": [4, 4]},
+               "workload": {"workload": "reduce", "tasks": 8, "bytes": 1024}},
+      "fault_rates_per_s": [1.0],
+      "replicas": 0,
+      "seed": 1
+    }"#;
+    let out = run_resilience(spec, &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid error JSON");
+    assert_eq!(body["error"]["kind"], "invalid_campaign");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("replicas"), "stderr: {err}");
+}
+
+#[test]
+fn resilience_rejects_malformed_json() {
+    let out = run_resilience("{ nonsense", &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parse campaign"), "stderr: {err}");
 }
 
 #[test]

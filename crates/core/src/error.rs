@@ -32,6 +32,12 @@ pub enum ExperimentError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A resilience campaign spec is inconsistent (no rates, no replicas,
+    /// an unusable horizon, …).
+    InvalidCampaign {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// The workload needs more endpoints than the topology provides.
     TooManyTasks {
         /// Tasks the workload places.
@@ -68,6 +74,9 @@ impl fmt::Display for ExperimentError {
             }
             ExperimentError::InvalidFailures { reason } => {
                 write!(f, "invalid failure spec: {reason}")
+            }
+            ExperimentError::InvalidCampaign { reason } => {
+                write!(f, "invalid resilience campaign: {reason}")
             }
             ExperimentError::TooManyTasks {
                 tasks,

@@ -2,7 +2,7 @@
 
 use crate::error::ExperimentError;
 use crate::topospec::TopologySpec;
-use exaflow_sim::{SimConfig, SimReport, Simulator};
+use exaflow_sim::{FaultScheduleSpec, RecoveryPolicy, SimConfig, SimReport, Simulator};
 use exaflow_topo::{Degraded, Topology};
 use exaflow_workloads::{TaskMapping, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -49,6 +49,12 @@ pub struct ExperimentConfig {
     /// `exaflow_topo::failures`): fail `count` random cables before running.
     #[serde(default)]
     pub failures: Option<FailureSpec>,
+    /// Optional *mid-run* fault injection: a schedule of link-down/link-up
+    /// events consumed while the workload executes, with a recovery policy
+    /// for interrupted flows. Composes with `failures` (static failures
+    /// stay down for the whole run; scheduled faults come and go).
+    #[serde(default)]
+    pub fault_injection: Option<FaultInjectionSpec>,
 }
 
 /// Random cable failures applied to the topology before simulation.
@@ -58,6 +64,16 @@ pub struct FailureSpec {
     pub count: usize,
     /// RNG seed.
     pub seed: u64,
+}
+
+/// Mid-run fault injection: what fails when, and how flows recover.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjectionSpec {
+    /// How interrupted flows recover (default: reroute and resume).
+    #[serde(default)]
+    pub policy: RecoveryPolicy,
+    /// The fault events: explicit, or Poisson-generated from a seed.
+    pub schedule: FaultScheduleSpec,
 }
 
 fn default_sim_config() -> SimConfig {
@@ -86,11 +102,19 @@ pub struct ExperimentResult {
     /// Duplex cables the [`FailureSpec`] asked to fail (0 without one).
     #[serde(default)]
     pub failed_cables_requested: u64,
-    /// Duplex cables actually failed — less than requested when the
-    /// topology ran out of safely removable cables, in which case the
-    /// experiment measured a milder failure scenario than configured.
+    /// Duplex cables actually failed. Always equals
+    /// `failed_cables_requested` now that an unsatisfiable request is a
+    /// typed [`ExperimentError::InvalidFailures`]; kept for result-file
+    /// compatibility.
     #[serde(default)]
     pub failed_cables_applied: u64,
+    /// Flows dropped by the `skip_unreachable` recovery policy (0 without
+    /// mid-run fault injection).
+    #[serde(default)]
+    pub skipped_flows: u64,
+    /// Scheduled fault events that actually fired during the run.
+    #[serde(default)]
+    pub fault_events_applied: u64,
 }
 
 /// Build the topology, generate the workload, simulate, report.
@@ -117,6 +141,17 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Experi
             let degraded = Degraded::with_random_failures(built, f.count, f.seed);
             cables_requested = degraded.cables_requested() as u64;
             cables_applied = degraded.cables_applied() as u64;
+            if cables_applied < cables_requested {
+                // Silently measuring a milder scenario than configured
+                // would corrupt a resilience sweep; refuse instead.
+                return Err(ExperimentError::InvalidFailures {
+                    reason: format!(
+                        "requested {cables_requested} cable failures but only \
+                         {cables_applied} cables are safely removable on {}",
+                        degraded.name()
+                    ),
+                });
+            }
             Box::new(degraded)
         }
         None => built,
@@ -132,7 +167,14 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Experi
     let mapping = cfg.mapping.build(tasks, topo.num_endpoints());
     let dag = cfg.workload.generate(&mapping);
     let started = std::time::Instant::now();
-    let report: SimReport = Simulator::with_config(&topo, cfg.sim.clone()).run(&dag)?;
+    let simulator = Simulator::with_config(&topo, cfg.sim.clone());
+    let report: SimReport = match &cfg.fault_injection {
+        Some(fi) => {
+            let schedule = fi.schedule.build(topo.network())?;
+            simulator.run_with_faults(&dag, &schedule, fi.policy)?
+        }
+        None => simulator.run(&dag)?,
+    };
     Ok(ExperimentResult {
         topology: topo.name(),
         workload: cfg.workload.name().to_owned(),
@@ -143,6 +185,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Experi
         wall_seconds: started.elapsed().as_secs_f64(),
         failed_cables_requested: cables_requested,
         failed_cables_applied: cables_applied,
+        skipped_flows: report.skipped_flows,
+        fault_events_applied: report.fault_events_applied,
     })
 }
 
@@ -162,6 +206,7 @@ mod tests {
             mapping: MappingSpec::Linear,
             sim: SimConfig::default(),
             failures: None,
+            fault_injection: None,
         }
     }
 
@@ -209,6 +254,7 @@ mod tests {
             mapping: MappingSpec::Linear,
             sim: SimConfig::default(),
             failures: None,
+            fault_injection: None,
         };
         let err = run_experiment(&cfg).unwrap_err();
         assert!(
@@ -260,17 +306,20 @@ mod tests {
         assert_eq!(res.failed_cables_requested, 2);
         assert_eq!(res.failed_cables_applied, 2);
 
-        // An oversized request is visible as a shortfall, not silent. A
-        // single-task Reduce generates no flows, so the run succeeds even
-        // if the heavily-degraded network lost connectivity.
+        // An oversized request is a typed error at the spec boundary — the
+        // run must not silently measure a milder scenario than configured.
         cfg.workload = WorkloadSpec::Reduce { tasks: 1, bytes: 1 };
         cfg.failures = Some(FailureSpec {
             count: 1000,
             seed: 5,
         });
-        let res = run_experiment(&cfg).unwrap();
-        assert_eq!(res.failed_cables_requested, 1000);
-        assert!(res.failed_cables_applied < 1000);
+        let err = run_experiment(&cfg).unwrap_err();
+        match err {
+            ExperimentError::InvalidFailures { reason } => {
+                assert!(reason.contains("1000"), "{reason}");
+            }
+            other => panic!("expected InvalidFailures, got {other:?}"),
+        }
     }
 
     #[test]
@@ -297,12 +346,91 @@ mod tests {
             mapping: MappingSpec::Linear,
             sim: SimConfig::default(),
             failures: None,
+            fault_injection: None,
         };
         let healthy = run_experiment(&base).unwrap().makespan_seconds;
         let mut broken = base.clone();
         broken.failures = Some(FailureSpec { count: 6, seed: 3 });
         let degraded = run_experiment(&broken).unwrap().makespan_seconds;
         assert!(degraded >= healthy, "{degraded} < {healthy}");
+    }
+
+    #[test]
+    fn fault_injection_with_zero_rate_matches_fault_free_run() {
+        let mut cfg = reduce_cfg(TopologySpec::Torus { dims: vec![4, 4] });
+        cfg.workload = WorkloadSpec::UnstructuredApp {
+            tasks: 16,
+            flows_per_task: 4,
+            bytes: 1 << 20,
+            seed: 2,
+        };
+        let plain = run_experiment(&cfg).unwrap();
+        cfg.fault_injection = Some(FaultInjectionSpec {
+            policy: RecoveryPolicy::RerouteResume,
+            schedule: FaultScheduleSpec::Explicit { events: vec![] },
+        });
+        let faulted = run_experiment(&cfg).unwrap();
+        assert_eq!(plain.makespan_seconds, faulted.makespan_seconds);
+        assert_eq!(plain.events, faulted.events);
+        assert_eq!(faulted.fault_events_applied, 0);
+        assert_eq!(faulted.skipped_flows, 0);
+    }
+
+    #[test]
+    fn fault_injection_random_schedule_perturbs_the_run() {
+        let mut cfg = reduce_cfg(TopologySpec::Torus { dims: vec![4, 4] });
+        cfg.workload = WorkloadSpec::UnstructuredApp {
+            tasks: 16,
+            flows_per_task: 8,
+            bytes: 1 << 22,
+            seed: 2,
+        };
+        let healthy = run_experiment(&cfg).unwrap();
+        cfg.fault_injection = Some(FaultInjectionSpec {
+            policy: RecoveryPolicy::RerouteRestart,
+            schedule: FaultScheduleSpec::Random {
+                seed: 11,
+                rate_per_s: 500.0,
+                horizon_s: healthy.makespan_seconds,
+                repair_s: Some(healthy.makespan_seconds / 10.0),
+            },
+        });
+        let faulted = run_experiment(&cfg).unwrap();
+        assert!(faulted.fault_events_applied > 0);
+        assert!(
+            faulted.makespan_seconds >= healthy.makespan_seconds,
+            "{} < {}",
+            faulted.makespan_seconds,
+            healthy.makespan_seconds
+        );
+        // Determinism: the same config reproduces the same result.
+        let again = run_experiment(&cfg).unwrap();
+        assert_eq!(faulted.makespan_seconds, again.makespan_seconds);
+        assert_eq!(faulted.fault_events_applied, again.fault_events_applied);
+    }
+
+    #[test]
+    fn fault_injection_composes_with_static_failures() {
+        let mut cfg = reduce_cfg(TopologySpec::Torus { dims: vec![4, 4] });
+        cfg.workload = WorkloadSpec::UnstructuredApp {
+            tasks: 16,
+            flows_per_task: 4,
+            bytes: 1 << 20,
+            seed: 7,
+        };
+        cfg.failures = Some(FailureSpec { count: 2, seed: 3 });
+        cfg.fault_injection = Some(FaultInjectionSpec {
+            policy: RecoveryPolicy::SkipUnreachable,
+            schedule: FaultScheduleSpec::Random {
+                seed: 4,
+                rate_per_s: 500.0,
+                horizon_s: 0.1,
+                repair_s: Some(0.01),
+            },
+        });
+        let res = run_experiment(&cfg).unwrap();
+        assert_eq!(res.failed_cables_applied, 2);
+        assert!(res.makespan_seconds > 0.0);
     }
 
     #[test]

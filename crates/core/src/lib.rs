@@ -48,15 +48,20 @@ pub mod error;
 pub mod experiment;
 pub mod normalize;
 pub mod presets;
+pub mod resilience;
 pub mod scale;
 pub mod suite;
 pub mod topospec;
 
 pub use error::ExperimentError;
 pub use experiment::{
-    run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, MappingSpec,
+    run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, FaultInjectionSpec,
+    MappingSpec,
 };
 pub use normalize::{normalize_to, NormalizedRow};
+pub use resilience::{
+    run_resilience_campaign, CellReport, ResilienceCampaignReport, ResilienceCampaignSpec,
+};
 pub use scale::SystemScale;
 pub use suite::{scoped_map, ExperimentSuite, SuiteReport, SuiteRun};
 pub use topospec::TopologySpec;
@@ -73,9 +78,13 @@ pub use exaflow_workloads as workloads;
 pub mod prelude {
     pub use crate::error::ExperimentError;
     pub use crate::experiment::{
-        run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, MappingSpec,
+        run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, FaultInjectionSpec,
+        MappingSpec,
     };
     pub use crate::presets;
+    pub use crate::resilience::{
+        run_resilience_campaign, CellReport, ResilienceCampaignReport, ResilienceCampaignSpec,
+    };
     pub use crate::scale::SystemScale;
     pub use crate::suite::{scoped_map, ExperimentSuite, SuiteReport, SuiteRun};
     pub use crate::topospec::TopologySpec;
@@ -83,7 +92,10 @@ pub mod prelude {
         channel_load_survey, distance_stats_exact, distance_survey, DistanceStats, LoadStats,
     };
     pub use exaflow_netgraph::{LinkId, Network, NodeId};
-    pub use exaflow_sim::{FlowDag, FlowDagBuilder, SimConfig, SimError, SimReport, Simulator};
+    pub use exaflow_sim::{
+        FaultAction, FaultEvent, FaultSchedule, FaultScheduleSpec, FlowDag, FlowDagBuilder,
+        RecoveryPolicy, SimConfig, SimError, SimReport, Simulator,
+    };
     pub use exaflow_system::{CostModel, SystemHierarchy};
     pub use exaflow_topo::{
         ConnectionRule, Degraded, Dragonfly, GeneralizedHypercube, Jellyfish, KAryTree, Nested,

@@ -58,6 +58,8 @@ mod tests {
             wall_seconds: 0.0,
             failed_cables_requested: 0,
             failed_cables_applied: 0,
+            skipped_flows: 0,
+            fault_events_applied: 0,
         }
     }
 

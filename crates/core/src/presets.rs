@@ -185,6 +185,7 @@ mod tests {
                 mapping: MappingSpec::Linear,
                 sim: SimConfig::default(),
                 failures: None,
+                fault_injection: None,
             })
             .unwrap();
             assert!(res.makespan_seconds > 0.0);

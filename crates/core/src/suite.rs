@@ -25,6 +25,7 @@
 //!         mapping: MappingSpec::Linear,
 //!         sim: SimConfig::default(),
 //!         failures: None,
+//!         fault_injection: None,
 //!     })
 //!     .collect();
 //! let run = ExperimentSuite::new(configs).threads(2).run();
@@ -292,6 +293,7 @@ mod tests {
             mapping: MappingSpec::Linear,
             sim: SimConfig::default(),
             failures: None,
+            fault_injection: None,
         }
     }
 

@@ -3,10 +3,11 @@
 
 use crate::dag::{FlowDag, FlowId};
 use crate::error::SimError;
+use crate::fault::{FaultAction, FaultSchedule, RecoveryPolicy};
 use crate::maxmin::MaxMinSolver;
 use crate::report::SimReport;
-use exaflow_netgraph::NodeId;
-use exaflow_topo::Topology;
+use exaflow_netgraph::{LinkId, NodeId};
+use exaflow_topo::{FaultOverlay, Topology};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -216,7 +217,42 @@ impl<'a> Simulator<'a> {
     /// network), or a stalled rate allocation. Panics are reserved for
     /// internal invariant violations.
     pub fn run(&self, dag: &FlowDag) -> Result<SimReport, SimError> {
+        self.run_with_faults(dag, &FaultSchedule::empty(), RecoveryPolicy::default())
+    }
+
+    /// Simulate `dag` while injecting the link-down/link-up events of
+    /// `schedule` at their simulated times, recovering interrupted flows
+    /// per `policy`.
+    ///
+    /// Fault events join the engine's event ordering alongside completions
+    /// and delayed activations: at each step the earliest of the three
+    /// fires. When a link goes down, every in-flight (active or
+    /// latency-delayed) flow whose path crosses it is handed to the
+    /// recovery policy:
+    ///
+    /// * [`RecoveryPolicy::Abort`] — the run stops with
+    ///   [`SimError::LinkLost`].
+    /// * [`RecoveryPolicy::SkipUnreachable`] — reroute; flows whose
+    ///   destination became unreachable are dropped (recorded in
+    ///   [`SimReport::skipped_flow_ids`]) and their dependents released.
+    /// * [`RecoveryPolicy::RerouteResume`] — reroute keeping transferred
+    ///   bytes; an unreachable destination is [`SimError::Unreachable`].
+    /// * [`RecoveryPolicy::RerouteRestart`] — reroute and retransmit from
+    ///   zero; an unreachable destination is [`SimError::Unreachable`].
+    ///
+    /// A restored link benefits flows routed after the repair (caches are
+    /// invalidated); flows already rerouted keep their detour. An empty
+    /// schedule reproduces [`Simulator::run`] bit-for-bit. Events scheduled
+    /// after the workload completes never fire; see
+    /// [`SimReport::fault_events_applied`].
+    pub fn run_with_faults(
+        &self,
+        dag: &FlowDag,
+        schedule: &FaultSchedule,
+        policy: RecoveryPolicy,
+    ) -> Result<SimReport, SimError> {
         self.cfg.validate()?;
+        schedule.validate_for(self.topo.network())?;
         if let Some(max_ep) = dag.max_endpoint() {
             if max_ep as usize >= self.num_eps {
                 return Err(SimError::EndpointOutOfRange {
@@ -230,6 +266,11 @@ impl<'a> Simulator<'a> {
 
         let mut solver = MaxMinSolver::new(self.resource_capacities())?;
         let mut route_cache: HashMap<(u32, u32), Box<[u32]>> = HashMap::new();
+        let mut overlay = FaultOverlay::new(self.topo);
+        let fault_events = schedule.events();
+        let mut fault_idx = 0usize;
+        let mut fault_events_applied = 0u64;
+        let mut skipped_flow_ids: Vec<u32> = Vec::new();
 
         // Per-flow state.
         let mut remaining: Vec<f64> = dag.flows().iter().map(|f| f.bytes as f64 * 8.0).collect();
@@ -263,6 +304,27 @@ impl<'a> Simulator<'a> {
 
         let mut ready: Vec<u32> = (0..n as u32).filter(|&f| indeg[f as usize] == 0).collect();
 
+        // Retire flow `f` at the current time (delivered, degenerate, or
+        // dropped): zero it, stamp its completion, release its dependents.
+        macro_rules! retire {
+            ($f:expr) => {{
+                let f = $f as usize;
+                remaining[f] = 0.0;
+                if self.cfg.record_flow_times {
+                    completion_times[f] = now;
+                }
+                completed += 1;
+                let lo = succ_offsets[f] as usize;
+                let hi = succ_offsets[f + 1] as usize;
+                for &s in &succs[lo..hi] {
+                    indeg[s as usize] -= 1;
+                    if indeg[s as usize] == 0 {
+                        ready.push(s);
+                    }
+                }
+            }};
+        }
+
         // Activation: instantly retire degenerate flows (zero bytes or
         // self-traffic) cascading; queue real flows into the active set or,
         // under the latency model, into the delayed heap.
@@ -271,33 +333,42 @@ impl<'a> Simulator<'a> {
                 while let Some(f) = ready.pop() {
                     let spec = dag.flow(FlowId(f));
                     if spec.bytes == 0 || spec.src == spec.dst {
-                        remaining[f as usize] = 0.0;
-                        if self.cfg.record_flow_times {
-                            completion_times[f as usize] = now;
-                        }
-                        completed += 1;
-                        let lo = succ_offsets[f as usize] as usize;
-                        let hi = succ_offsets[f as usize + 1] as usize;
-                        for &s in &succs[lo..hi] {
-                            indeg[s as usize] -= 1;
-                            if indeg[s as usize] == 0 {
-                                ready.push(s);
-                            }
-                        }
+                        retire!(f);
                         continue;
                     }
-                    let path: Box<[u32]> = if self.cfg.cache_routes {
-                        if let Some(p) = route_cache.get(&(spec.src, spec.dst)) {
-                            p.clone()
-                        } else {
-                            let p = self.build_path(spec.src, spec.dst, &mut path_scratch)?;
-                            if route_cache.len() < self.cfg.route_cache_cap {
-                                route_cache.insert((spec.src, spec.dst), p.clone());
-                            }
-                            p
-                        }
+                    let cached = if self.cfg.cache_routes {
+                        route_cache.get(&(spec.src, spec.dst)).cloned()
                     } else {
-                        self.build_path(spec.src, spec.dst, &mut path_scratch)?
+                        None
+                    };
+                    let path: Box<[u32]> = match cached {
+                        Some(p) => p,
+                        None => match self.build_path(
+                            &mut overlay,
+                            spec.src,
+                            spec.dst,
+                            &mut path_scratch,
+                        ) {
+                            Ok(p) => {
+                                if self.cfg.cache_routes
+                                    && route_cache.len() < self.cfg.route_cache_cap
+                                {
+                                    route_cache.insert((spec.src, spec.dst), p.clone());
+                                }
+                                p
+                            }
+                            // A flow activating toward a destination the
+                            // current faults cut off is exactly what the skip
+                            // policy drops — not only flows already in flight.
+                            Err(SimError::Unreachable { .. })
+                                if matches!(policy, RecoveryPolicy::SkipUnreachable) =>
+                            {
+                                retire!(f);
+                                skipped_flow_ids.push(f);
+                                continue;
+                            }
+                            Err(e) => return Err(e),
+                        },
                     };
                     if latency_model {
                         // Physical hops = path minus the two NIC resources.
@@ -314,29 +385,172 @@ impl<'a> Simulator<'a> {
             };
         }
 
+        // Flows skipped while latency-delayed leave stale heap entries
+        // behind (their `delayed_paths` entry is gone); drop those before
+        // consulting the heap.
+        macro_rules! purge_cancelled {
+            () => {
+                while let Some(Reverse((_, f))) = delayed.peek() {
+                    if delayed_paths.contains_key(f) {
+                        break;
+                    }
+                    delayed.pop();
+                }
+            };
+        }
+
+        // Apply every fault event due at (or before) the current time, then
+        // hand each in-flight flow whose path crossed a newly-downed link to
+        // the recovery policy. Link resources share ids with links, so a
+        // resource path crosses link `l` iff it contains `l` directly.
+        macro_rules! apply_due_faults {
+            () => {{
+                let mut downed: Vec<u32> = Vec::new();
+                let mut restored = false;
+                while fault_idx < fault_events.len() && fault_events[fault_idx].time_s <= now {
+                    let ev = fault_events[fault_idx];
+                    fault_idx += 1;
+                    match ev.action {
+                        FaultAction::Down => {
+                            if overlay.fail_link(LinkId(ev.link)) {
+                                fault_events_applied += 1;
+                                downed.push(ev.link);
+                            }
+                        }
+                        FaultAction::Up => {
+                            if overlay.restore_link(LinkId(ev.link)) {
+                                fault_events_applied += 1;
+                                restored = true;
+                            }
+                        }
+                    }
+                }
+                if restored {
+                    // A repaired link may offer better routes than cached
+                    // detours; start routing from scratch.
+                    route_cache.clear();
+                } else if !downed.is_empty() {
+                    route_cache.retain(|_, p| !p.iter().any(|r| downed.contains(r)));
+                }
+                if !downed.is_empty() {
+                    let crosses = |p: &[u32]| p.iter().find(|r| downed.contains(r)).copied();
+                    // Active flows first, in deterministic index order...
+                    let mut i = 0;
+                    while i < active_ids.len() {
+                        let f = active_ids[i];
+                        let Some(link) = crosses(&active_paths[i]) else {
+                            i += 1;
+                            continue;
+                        };
+                        if matches!(policy, RecoveryPolicy::Abort) {
+                            return Err(SimError::LinkLost {
+                                time: now,
+                                link,
+                                flow: f,
+                            });
+                        }
+                        let spec = dag.flow(FlowId(f));
+                        match self.build_path(&mut overlay, spec.src, spec.dst, &mut path_scratch) {
+                            Ok(p) => {
+                                active_paths[i] = p;
+                                if matches!(policy, RecoveryPolicy::RerouteRestart) {
+                                    // Retransmit from zero on the new path.
+                                    remaining[f as usize] = spec.bytes as f64 * 8.0;
+                                }
+                                i += 1;
+                            }
+                            Err(e) => {
+                                if matches!(policy, RecoveryPolicy::SkipUnreachable) {
+                                    retire!(f);
+                                    skipped_flow_ids.push(f);
+                                    active_ids.swap_remove(i);
+                                    active_paths.swap_remove(i);
+                                    // `rates` is resized before the next solve.
+                                } else {
+                                    return Err(e);
+                                }
+                            }
+                        }
+                    }
+                    // ...then flows still waiting out their head latency
+                    // (sorted: HashMap order is not deterministic).
+                    let mut waiting: Vec<u32> = delayed_paths.keys().copied().collect();
+                    waiting.sort_unstable();
+                    for f in waiting {
+                        let Some(link) = crosses(&delayed_paths[&f]) else {
+                            continue;
+                        };
+                        if matches!(policy, RecoveryPolicy::Abort) {
+                            return Err(SimError::LinkLost {
+                                time: now,
+                                link,
+                                flow: f,
+                            });
+                        }
+                        let spec = dag.flow(FlowId(f));
+                        match self.build_path(&mut overlay, spec.src, spec.dst, &mut path_scratch) {
+                            Ok(p) => {
+                                // Keep the original activation time: the head
+                                // latency was committed when the flow was
+                                // scheduled. Nothing transferred yet, so
+                                // resume and restart coincide here.
+                                delayed_paths.insert(f, p);
+                            }
+                            Err(e) => {
+                                if matches!(policy, RecoveryPolicy::SkipUnreachable) {
+                                    retire!(f);
+                                    skipped_flow_ids.push(f);
+                                    delayed_paths.remove(&f); // heap entry now stale
+                                } else {
+                                    return Err(e);
+                                }
+                            }
+                        }
+                    }
+                }
+            }};
+        }
+
+        apply_due_faults!(); // faults scheduled at t = 0 precede all routing
         activate_ready!();
 
         loop {
+            // Fault events due at the current time fire before anything else.
+            if fault_idx < fault_events.len() && fault_events[fault_idx].time_s <= now {
+                apply_due_faults!();
+                activate_ready!(); // skip-retirements may release dependents
+            }
+
             if active_ids.is_empty() {
-                // Nothing transferring: jump to the next delayed activation.
-                match delayed.pop() {
-                    None => break,
-                    Some(Reverse((Time(t), f))) => {
-                        now = now.max(t);
-                        active_ids.push(f);
-                        active_paths.push(delayed_paths.remove(&f).expect("delayed path"));
-                        while let Some(Reverse((Time(t2), _))) = delayed.peek() {
-                            if *t2 <= now {
-                                let Reverse((_, f2)) = delayed.pop().unwrap();
-                                active_ids.push(f2);
-                                active_paths.push(delayed_paths.remove(&f2).unwrap());
-                            } else {
-                                break;
-                            }
-                        }
-                        continue;
+                // Nothing transferring: jump to the next delayed activation
+                // or fault event, whichever comes first.
+                purge_cancelled!();
+                let t_act = match delayed.peek() {
+                    None => break, // workload finished; later faults never fire
+                    Some(Reverse((Time(t), _))) => *t,
+                };
+                if let Some(ev) = fault_events.get(fault_idx) {
+                    if ev.time_s <= t_act {
+                        now = now.max(ev.time_s);
+                        continue; // the loop top applies the fault batch
                     }
                 }
+                let Reverse((Time(t), f)) = delayed.pop().expect("peeked entry");
+                now = now.max(t);
+                active_ids.push(f);
+                active_paths.push(delayed_paths.remove(&f).expect("delayed path"));
+                loop {
+                    purge_cancelled!();
+                    match delayed.peek() {
+                        Some(Reverse((Time(t2), _))) if *t2 <= now => {
+                            let Reverse((_, f2)) = delayed.pop().expect("peeked entry");
+                            active_ids.push(f2);
+                            active_paths.push(delayed_paths.remove(&f2).expect("delayed path"));
+                        }
+                        _ => break,
+                    }
+                }
+                continue;
             }
 
             events += 1;
@@ -355,10 +569,18 @@ impl<'a> Simulator<'a> {
                 return Err(self.stall_error(now, &active_ids, &active_paths, &rates, &solver));
             }
 
-            // A delayed activation may precede the earliest completion.
-            if let Some(Reverse((Time(t_act), _))) = delayed.peek() {
-                if *t_act < now + dt {
-                    let step = *t_act - now;
+            // A fault or a delayed activation may precede the earliest
+            // completion; a fault at the same instant as an activation fires
+            // first, so the activating flow routes around it.
+            purge_cancelled!();
+            let t_act = delayed.peek().map(|Reverse((Time(t), _))| *t);
+            if let Some(ev) = fault_events.get(fault_idx) {
+                let before_act = match t_act {
+                    Some(ta) => ev.time_s <= ta,
+                    None => true,
+                };
+                if ev.time_s < now + dt && before_act {
+                    let step = ev.time_s - now;
                     self.advance(
                         step,
                         &active_ids,
@@ -367,14 +589,31 @@ impl<'a> Simulator<'a> {
                         &mut remaining,
                         &mut resource_bytes,
                     );
-                    now = *t_act;
-                    while let Some(Reverse((Time(t2), _))) = delayed.peek() {
-                        if *t2 <= now {
-                            let Reverse((_, f2)) = delayed.pop().unwrap();
-                            active_ids.push(f2);
-                            active_paths.push(delayed_paths.remove(&f2).unwrap());
-                        } else {
-                            break;
+                    now = ev.time_s;
+                    continue; // the loop top applies the fault batch
+                }
+            }
+            if let Some(t_act) = t_act {
+                if t_act < now + dt {
+                    let step = t_act - now;
+                    self.advance(
+                        step,
+                        &active_ids,
+                        &active_paths,
+                        &rates,
+                        &mut remaining,
+                        &mut resource_bytes,
+                    );
+                    now = t_act;
+                    loop {
+                        purge_cancelled!();
+                        match delayed.peek() {
+                            Some(Reverse((Time(t2), _))) if *t2 <= now => {
+                                let Reverse((_, f2)) = delayed.pop().expect("peeked entry");
+                                active_ids.push(f2);
+                                active_paths.push(delayed_paths.remove(&f2).expect("delayed path"));
+                            }
+                            _ => break,
                         }
                     }
                     continue;
@@ -401,20 +640,7 @@ impl<'a> Simulator<'a> {
             let mut i = 0;
             while i < active_ids.len() {
                 if done_flags[i] {
-                    let f = active_ids[i] as usize;
-                    remaining[f] = 0.0;
-                    if self.cfg.record_flow_times {
-                        completion_times[f] = now;
-                    }
-                    completed += 1;
-                    let lo = succ_offsets[f] as usize;
-                    let hi = succ_offsets[f + 1] as usize;
-                    for &s in &succs[lo..hi] {
-                        indeg[s as usize] -= 1;
-                        if indeg[s as usize] == 0 {
-                            ready.push(s);
-                        }
-                    }
+                    retire!(active_ids[i]);
                     active_ids.swap_remove(i);
                     active_paths.swap_remove(i);
                     rates.swap_remove(i);
@@ -451,6 +677,9 @@ impl<'a> Simulator<'a> {
             },
             num_links: self.num_links as u64,
             num_endpoints: self.num_eps as u64,
+            skipped_flows: skipped_flow_ids.len() as u64,
+            skipped_flow_ids,
+            fault_events_applied,
         })
     }
 
@@ -518,16 +747,20 @@ impl<'a> Simulator<'a> {
     }
 
     /// Materialise the resource path of a flow: injection resource, physical
-    /// route links, ejection resource. An unreachable destination (failed
-    /// links partitioning the network) is a typed error, not a panic.
+    /// route links, ejection resource. Routing goes through the fault
+    /// overlay so mid-run link failures are avoided; with no dynamic
+    /// failures the overlay defers to the topology's own deterministic
+    /// route. An unreachable destination (failed links partitioning the
+    /// network) is a typed error, not a panic.
     fn build_path(
         &self,
+        overlay: &mut FaultOverlay,
         src: u32,
         dst: u32,
-        scratch: &mut Vec<exaflow_netgraph::LinkId>,
+        scratch: &mut Vec<LinkId>,
     ) -> Result<Box<[u32]>, SimError> {
         scratch.clear();
-        self.topo
+        overlay
             .try_route(NodeId(src), NodeId(dst), scratch)
             .map_err(|e| SimError::Unreachable {
                 src,
@@ -915,6 +1148,332 @@ mod tests {
         let hottest = r.hottest_links(1);
         assert_eq!(hottest.len(), 1);
         assert!((hottest[0].1 - mb(2) as f64).abs() < 1.0);
+    }
+
+    // ---- fault injection ----
+
+    use crate::fault::FaultEvent;
+
+    /// Down (or up) both directions of the physical cable `a <-> b` at `t`.
+    fn cable_events(
+        net: &exaflow_netgraph::Network,
+        t: f64,
+        a: u32,
+        b: u32,
+        action: FaultAction,
+    ) -> Vec<FaultEvent> {
+        [(a, b), (b, a)]
+            .iter()
+            .map(|&(s, d)| FaultEvent {
+                time_s: t,
+                link: net.find_physical_link(NodeId(s), NodeId(d)).unwrap().0,
+                action,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_schedule_reproduces_fault_free_run_exactly() {
+        let topo = Torus::new(&[4, 4]);
+        let cfg = SimConfig {
+            record_flow_times: true,
+            collect_link_stats: true,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        let mut prev = vec![];
+        for round in 0..3u64 {
+            let mut cur = vec![];
+            for i in 0..8u32 {
+                cur.push(b.add_flow(NodeId(i), NodeId((i + 5) % 16), mb(1) + round, &prev));
+            }
+            prev = cur;
+        }
+        let dag = b.build();
+        let plain = sim.run(&dag).unwrap();
+        for policy in RecoveryPolicy::ALL {
+            let faulted = sim
+                .run_with_faults(&dag, &FaultSchedule::empty(), policy)
+                .unwrap();
+            assert_eq!(
+                serde_json::to_string(&plain).unwrap(),
+                serde_json::to_string(&faulted).unwrap(),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_keeps_transferred_bytes_restart_does_not() {
+        // 0 -> 2 on a ring of 8 takes 0.8 ms at 10 Gbps. Cutting the first
+        // hop halfway through forces a detour the long way round; with no
+        // contention the rate is unchanged, so resume still finishes at
+        // 0.8 ms while restart pays the first 0.4 ms again.
+        let topo = Torus::new(&[8]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(2), mb(1), &[]);
+        let dag = b.build();
+        let t_cut = 0.5 * xfer(mb(1), 10.0 * GBPS);
+        let schedule =
+            FaultSchedule::new(cable_events(topo.network(), t_cut, 0, 1, FaultAction::Down))
+                .unwrap();
+
+        let resume = sim
+            .run_with_faults(&dag, &schedule, RecoveryPolicy::RerouteResume)
+            .unwrap();
+        assert!(
+            (resume.makespan_seconds - xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12,
+            "{}",
+            resume.makespan_seconds
+        );
+        assert_eq!(resume.fault_events_applied, 2);
+        assert_eq!(resume.skipped_flows, 0);
+
+        let restart = sim
+            .run_with_faults(&dag, &schedule, RecoveryPolicy::RerouteRestart)
+            .unwrap();
+        assert!(
+            (restart.makespan_seconds - 1.5 * xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12,
+            "{}",
+            restart.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn abort_policy_is_typed_link_lost_error() {
+        let topo = Torus::new(&[8]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(2), mb(1), &[]);
+        let t_cut = 0.5 * xfer(mb(1), 10.0 * GBPS);
+        let schedule =
+            FaultSchedule::new(cable_events(topo.network(), t_cut, 0, 1, FaultAction::Down))
+                .unwrap();
+        let err = sim
+            .run_with_faults(&b.build(), &schedule, RecoveryPolicy::Abort)
+            .unwrap_err();
+        match err {
+            SimError::LinkLost { time, flow, .. } => {
+                assert!((time - t_cut).abs() < 1e-15);
+                assert_eq!(flow, 0);
+            }
+            other => panic!("expected LinkLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_policy_drops_unreachable_flow_and_finishes_the_rest() {
+        // Ring 0-1-2-3: cutting cables (0,1) and (2,3) mid-run splits
+        // {0,3} from {1,2}. Flow 0 -> 1 becomes unreachable and is dropped;
+        // flow 3 -> 0 rides the surviving cable to completion.
+        let topo = Torus::new(&[4]);
+        let sim = Simulator::with_config(
+            &topo,
+            SimConfig {
+                record_flow_times: true,
+                ..SimConfig::default()
+            },
+        );
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        b.add_flow(NodeId(3), NodeId(0), mb(1), &[]);
+        let dag = b.build();
+        let t_cut = 0.5 * xfer(mb(1), 10.0 * GBPS);
+        let mut events = cable_events(topo.network(), t_cut, 0, 1, FaultAction::Down);
+        events.extend(cable_events(topo.network(), t_cut, 2, 3, FaultAction::Down));
+        let schedule = FaultSchedule::new(events).unwrap();
+
+        let r = sim
+            .run_with_faults(&dag, &schedule, RecoveryPolicy::SkipUnreachable)
+            .unwrap();
+        assert_eq!(r.skipped_flows, 1);
+        assert_eq!(r.skipped_flow_ids, vec![0]);
+        assert_eq!(r.delivered_flows(), 1);
+        let times = r.completion_times.as_ref().unwrap();
+        assert!((times[0] - t_cut).abs() < 1e-15, "drop time recorded");
+        assert!((times[1] - xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12);
+
+        // The same partition under resume is a typed unreachable error.
+        let err = sim
+            .run_with_faults(&dag, &schedule, RecoveryPolicy::RerouteResume)
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::Unreachable { src: 0, dst: 1, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn skip_policy_drops_flows_that_activate_into_a_partition() {
+        // Ring 0-1-2-3. Flow 0 (0 -> 1) is in flight when cables (2,3) and
+        // (3,0) die, isolating node 3 without touching flow 0's path. Flow 1
+        // (0 -> 3) only activates once flow 0 completes — straight into the
+        // partition. The skip policy must drop it at activation time, not
+        // surface a typed error reserved for the other policies.
+        let topo = Torus::new(&[4]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        let first = b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        b.add_flow(NodeId(0), NodeId(3), mb(1), &[first]);
+        let dag = b.build();
+        let t_cut = 0.5 * xfer(mb(1), 10.0 * GBPS);
+        let mut events = cable_events(topo.network(), t_cut, 2, 3, FaultAction::Down);
+        events.extend(cable_events(topo.network(), t_cut, 3, 0, FaultAction::Down));
+        let schedule = FaultSchedule::new(events).unwrap();
+
+        let r = sim
+            .run_with_faults(&dag, &schedule, RecoveryPolicy::SkipUnreachable)
+            .unwrap();
+        assert_eq!(r.skipped_flows, 1);
+        assert_eq!(r.skipped_flow_ids, vec![1]);
+        assert_eq!(r.delivered_flows(), 1);
+        // Makespan is flow 0's completion: the dropped dependent adds nothing.
+        assert!((r.makespan_seconds - xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12);
+
+        // Resume and restart hit the partition at activation: typed error.
+        for policy in [
+            RecoveryPolicy::RerouteResume,
+            RecoveryPolicy::RerouteRestart,
+        ] {
+            let err = sim.run_with_faults(&dag, &schedule, policy).unwrap_err();
+            assert!(
+                matches!(err, SimError::Unreachable { src: 0, dst: 3, .. }),
+                "policy {policy:?}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn link_repair_restores_direct_routing_for_later_flows() {
+        // A: 2 -> 3 runs first. B: 0 -> 1 and C: 3 -> 2 start when A ends.
+        // Cable (0,1) dies at t=0 and is repaired at t=1e-4, long before B
+        // activates: B routes directly and never contends with C (1.6 ms
+        // total). Without the repair B detours 0-3-2-1, shares 3 -> 2 with
+        // C at half rate, and the makespan is 2.4 ms.
+        let topo = Torus::new(&[4]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        let a = b.add_flow(NodeId(2), NodeId(3), mb(1), &[]);
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[a]);
+        b.add_flow(NodeId(3), NodeId(2), mb(1), &[a]);
+        let dag = b.build();
+        let step = xfer(mb(1), 10.0 * GBPS);
+
+        let down = cable_events(topo.network(), 0.0, 0, 1, FaultAction::Down);
+        let mut with_repair = down.clone();
+        with_repair.extend(cable_events(topo.network(), 1e-4, 0, 1, FaultAction::Up));
+
+        let repaired = sim
+            .run_with_faults(
+                &dag,
+                &FaultSchedule::new(with_repair).unwrap(),
+                RecoveryPolicy::RerouteResume,
+            )
+            .unwrap();
+        assert!(
+            (repaired.makespan_seconds - 2.0 * step).abs() < 1e-12,
+            "{}",
+            repaired.makespan_seconds
+        );
+        assert_eq!(repaired.fault_events_applied, 4);
+
+        let detoured = sim
+            .run_with_faults(
+                &dag,
+                &FaultSchedule::new(down).unwrap(),
+                RecoveryPolicy::RerouteResume,
+            )
+            .unwrap();
+        assert!(
+            (detoured.makespan_seconds - 3.0 * step).abs() < 1e-12,
+            "{}",
+            detoured.makespan_seconds
+        );
+    }
+
+    #[test]
+    fn faults_after_completion_never_fire() {
+        let topo = Torus::new(&[8]);
+        let sim = Simulator::new(&topo);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let schedule =
+            FaultSchedule::new(cable_events(topo.network(), 1.0, 0, 1, FaultAction::Down)).unwrap();
+        let r = sim
+            .run_with_faults(&b.build(), &schedule, RecoveryPolicy::Abort)
+            .unwrap();
+        assert_eq!(r.fault_events_applied, 0);
+        assert!((r.makespan_seconds - xfer(mb(1), 10.0 * GBPS)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_hits_latency_delayed_flow() {
+        // Under a 1 ms startup latency both flows are still delayed when
+        // the partition lands at 0.5 ms; the flow whose destination is cut
+        // off is dropped before it ever transfers, the other proceeds.
+        let topo = Torus::new(&[4]);
+        let cfg = SimConfig {
+            startup_latency_s: 1e-3,
+            record_flow_times: true,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(3), NodeId(0), mb(1), &[]);
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let dag = b.build();
+        let mut events = cable_events(topo.network(), 5e-4, 0, 1, FaultAction::Down);
+        events.extend(cable_events(topo.network(), 5e-4, 2, 3, FaultAction::Down));
+        let schedule = FaultSchedule::new(events).unwrap();
+
+        let r = sim
+            .run_with_faults(&dag, &schedule, RecoveryPolicy::SkipUnreachable)
+            .unwrap();
+        assert_eq!(r.skipped_flow_ids, vec![1]);
+        let times = r.completion_times.as_ref().unwrap();
+        assert!((times[1] - 5e-4).abs() < 1e-15);
+        let expect = 1e-3 + xfer(mb(1), 10.0 * GBPS);
+        assert!((times[0] - expect).abs() < 1e-12);
+        assert!((r.makespan_seconds - expect).abs() < 1e-12);
+
+        // Abort sees the delayed flow too.
+        let err = sim
+            .run_with_faults(&dag, &schedule, RecoveryPolicy::Abort)
+            .unwrap_err();
+        assert!(matches!(err, SimError::LinkLost { flow: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fault_at_time_zero_shapes_initial_routes() {
+        // Cable (0,1) is already down when the flow starts: the 0 -> 1
+        // transfer detours 0-3-2-1 from the outset (same wire time — the
+        // fluid model charges no per-hop cost by default) and the paths
+        // avoid the dead link.
+        let topo = Torus::new(&[4]);
+        let cfg = SimConfig {
+            collect_link_stats: true,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        let schedule =
+            FaultSchedule::new(cable_events(topo.network(), 0.0, 0, 1, FaultAction::Down)).unwrap();
+        let r = sim
+            .run_with_faults(&b.build(), &schedule, RecoveryPolicy::RerouteResume)
+            .unwrap();
+        assert_eq!(r.fault_events_applied, 2);
+        let dead = topo
+            .network()
+            .find_physical_link(NodeId(0), NodeId(1))
+            .unwrap();
+        let bytes = r.resource_bytes.as_ref().unwrap();
+        assert_eq!(bytes[dead.0 as usize], 0.0, "dead link carried traffic");
+        // The detour crosses three links with the full megabyte.
+        let carried: f64 = bytes[..r.num_links as usize].iter().sum();
+        assert!((carried - 3.0 * mb(1) as f64).abs() < 1.0, "{carried}");
     }
 
     #[test]

@@ -57,6 +57,17 @@ pub enum SimError {
         /// Failed unidirectional links at the time of routing.
         failed_links: u64,
     },
+    /// A scheduled link failure interrupted an in-flight flow while the
+    /// [`RecoveryPolicy::Abort`](crate::RecoveryPolicy::Abort) policy was in
+    /// effect: the run stops at the first fault that touches live traffic.
+    LinkLost {
+        /// Simulated time at which the link went down.
+        time: f64,
+        /// The unidirectional link that failed.
+        link: u32,
+        /// A flow that was traversing (or scheduled to traverse) the link.
+        flow: u32,
+    },
     /// Active flows exist but none can make progress (all rates zero).
     /// Defensive: unreachable once capacities and configs are validated,
     /// but reported as a value rather than a panic just in case.
@@ -110,6 +121,10 @@ impl fmt::Display for SimError {
                 f,
                 "{topology}: endpoint {src} cannot reach {dst} ({failed_links} failed links)"
             ),
+            SimError::LinkLost { time, link, flow } => write!(
+                f,
+                "link {link} lost at t={time} while flow {flow} was in flight (policy: abort)"
+            ),
             SimError::Stalled {
                 time,
                 flows,
@@ -147,6 +162,22 @@ mod tests {
         assert!(json.contains("NaN"), "{json}");
         let back: SimError = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn link_lost_roundtrips_and_names_the_flow() {
+        let e = SimError::LinkLost {
+            time: 0.25,
+            link: 42,
+            flow: 7,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"link_lost\""), "{json}");
+        let back: SimError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        let s = e.to_string();
+        assert!(s.contains("link 42"), "{s}");
+        assert!(s.contains("flow 7"), "{s}");
     }
 
     #[test]

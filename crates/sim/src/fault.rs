@@ -1,0 +1,448 @@
+//! Mid-run fault injection: schedules of link-down / link-up events and
+//! the recovery policies deciding what happens to interrupted flows.
+//!
+//! **Extension beyond the paper** (its §6 flags fault tolerance as future
+//! work): a [`FaultSchedule`] is a time-ordered list of [`FaultEvent`]s the
+//! engine consumes alongside flow-retirement events — a link that dies
+//! while flows are in flight interrupts them, and the configured
+//! [`RecoveryPolicy`] decides whether the run aborts, drops the flow, or
+//! reroutes it (keeping or discarding the bytes already transferred).
+//!
+//! Schedules are either explicit (exact events, for crafted scenarios and
+//! tests) or generated deterministically from a seed: a Poisson process of
+//! cable failures at a given rate over a time horizon, optionally followed
+//! by repairs after a fixed delay ([`FaultScheduleSpec`]). The same seed
+//! always yields the same schedule, which is what makes Monte-Carlo
+//! resilience campaigns reproducible and lets different recovery policies
+//! face identical fault traces.
+
+use crate::error::SimError;
+use exaflow_netgraph::{LinkId, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// What a fault event does to its link.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FaultAction {
+    /// The link goes out of service.
+    Down,
+    /// The link returns to service (a repair).
+    Up,
+}
+
+/// One link transition at a simulated time.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulated time of the transition, seconds.
+    pub time_s: f64,
+    /// The unidirectional link that changes state.
+    pub link: u32,
+    /// Down or up.
+    pub action: FaultAction,
+}
+
+/// A time-ordered schedule of link fault events.
+///
+/// Construction sorts events by time (stably, so same-time events keep
+/// their given order) and rejects non-finite or negative times; link ids
+/// are validated against the topology at [`FaultSchedule::validate_for`]
+/// time, which the engine calls before consuming the schedule.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// A schedule with no events: simulation behaves exactly as fault-free.
+    pub fn empty() -> Self {
+        FaultSchedule { events: Vec::new() }
+    }
+
+    /// Build a schedule from `events`, sorting them by time.
+    pub fn new(mut events: Vec<FaultEvent>) -> Result<Self, SimError> {
+        for e in &events {
+            if !(e.time_s.is_finite() && e.time_s >= 0.0) {
+                return Err(SimError::invalid_config(
+                    "fault.time_s",
+                    e.time_s,
+                    "must be finite and >= 0",
+                ));
+            }
+        }
+        events.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .expect("fault times are finite")
+        });
+        Ok(FaultSchedule { events })
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Check every event's link against `net`: it must exist and be
+    /// physical (NIC-virtual links never fail).
+    pub fn validate_for(&self, net: &Network) -> Result<(), SimError> {
+        let num_links = net.num_links();
+        for e in &self.events {
+            if e.link as usize >= num_links {
+                return Err(SimError::InvalidConfig {
+                    field: "fault.link".into(),
+                    value: e.link.to_string(),
+                    constraint: format!("must be < {num_links} (number of links)"),
+                });
+            }
+            if net.link(LinkId(e.link)).is_virtual {
+                return Err(SimError::InvalidConfig {
+                    field: "fault.link".into(),
+                    value: e.link.to_string(),
+                    constraint: "must be a physical link (virtual NIC links cannot fail)".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the engine does with a flow whose path just lost a link.
+///
+/// The policy applies uniformly to transferring flows and to flows still
+/// waiting out their head latency (whose routed path is already fixed).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "snake_case")]
+pub enum RecoveryPolicy {
+    /// Fail the whole run with a typed
+    /// [`SimError::LinkLost`](crate::SimError::LinkLost) the moment a fault
+    /// interrupts any scheduled flow. Models a system with no fault
+    /// tolerance at all.
+    Abort,
+    /// Reroute interrupted flows over surviving links, keeping transferred
+    /// bytes; a flow whose destination became unreachable is dropped and
+    /// recorded (see [`SimReport::skipped_flows`](crate::SimReport)), and
+    /// its dependents proceed as if it had completed. Models an
+    /// application that gives up on unreachable peers.
+    SkipUnreachable,
+    /// Reroute interrupted flows over surviving links, keeping transferred
+    /// bytes; an unreachable destination fails the run with a typed
+    /// [`SimError::Unreachable`](crate::SimError::Unreachable). Models
+    /// transparent network-level path migration.
+    #[default]
+    RerouteResume,
+    /// Reroute interrupted flows but retransmit from zero — the bytes
+    /// already transferred are lost. Models recovery without end-to-end
+    /// checkpointing. Unreachable destinations fail the run as with
+    /// [`RecoveryPolicy::RerouteResume`].
+    RerouteRestart,
+}
+
+impl RecoveryPolicy {
+    /// All policies, in a stable order (useful for campaign grids).
+    pub const ALL: [RecoveryPolicy; 4] = [
+        RecoveryPolicy::Abort,
+        RecoveryPolicy::SkipUnreachable,
+        RecoveryPolicy::RerouteResume,
+        RecoveryPolicy::RerouteRestart,
+    ];
+
+    /// Snake-case name, matching the serialized form.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Abort => "abort",
+            RecoveryPolicy::SkipUnreachable => "skip_unreachable",
+            RecoveryPolicy::RerouteResume => "reroute_resume",
+            RecoveryPolicy::RerouteRestart => "reroute_restart",
+        }
+    }
+}
+
+/// Declarative description of a fault schedule, resolved against a
+/// topology's network by [`FaultScheduleSpec::build`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "mode", rename_all = "snake_case")]
+pub enum FaultScheduleSpec {
+    /// Exactly these events.
+    Explicit {
+        /// The events (sorted at build time).
+        events: Vec<FaultEvent>,
+    },
+    /// A seeded Poisson process of duplex-cable failures: cables fail at
+    /// `rate_per_s` over `[0, horizon_s)`, both directions at once, each
+    /// optionally repaired `repair_s` seconds later. `rate_per_s = 0`
+    /// yields an empty schedule (bit-identical to a fault-free run).
+    Random {
+        /// RNG seed; the schedule is a pure function of the seed and the
+        /// topology.
+        seed: u64,
+        /// Expected cable failures per simulated second.
+        rate_per_s: f64,
+        /// Failures are drawn in `[0, horizon_s)`.
+        horizon_s: f64,
+        /// Fixed delay after which a failed cable is repaired (both
+        /// directions come back). `None` means failures are permanent.
+        #[serde(default)]
+        repair_s: Option<f64>,
+    },
+}
+
+/// Ceiling on generated events: a runaway `rate × horizon` is a config
+/// error, not an allocation storm.
+const MAX_GENERATED_EVENTS: usize = 100_000;
+
+impl FaultScheduleSpec {
+    /// Resolve the spec into a concrete, validated [`FaultSchedule`] for
+    /// `net`.
+    pub fn build(&self, net: &Network) -> Result<FaultSchedule, SimError> {
+        let schedule = match self {
+            FaultScheduleSpec::Explicit { events } => FaultSchedule::new(events.clone())?,
+            FaultScheduleSpec::Random {
+                seed,
+                rate_per_s,
+                horizon_s,
+                repair_s,
+            } => generate_random(net, *seed, *rate_per_s, *horizon_s, *repair_s)?,
+        };
+        schedule.validate_for(net)?;
+        Ok(schedule)
+    }
+}
+
+/// Representative duplex cables of `net`: one `(forward, reverse)` pair per
+/// physical cable, `src < dst`.
+fn duplex_cables(net: &Network) -> Vec<(LinkId, Option<LinkId>)> {
+    let mut cables = Vec::new();
+    for (i, link) in net.links().iter().enumerate() {
+        if link.is_virtual || link.src > link.dst {
+            continue;
+        }
+        let reverse = net.find_physical_link(link.dst, link.src);
+        cables.push((LinkId(i as u32), reverse));
+    }
+    cables
+}
+
+fn generate_random(
+    net: &Network,
+    seed: u64,
+    rate_per_s: f64,
+    horizon_s: f64,
+    repair_s: Option<f64>,
+) -> Result<FaultSchedule, SimError> {
+    if !(rate_per_s.is_finite() && rate_per_s >= 0.0) {
+        return Err(SimError::invalid_config(
+            "fault.rate_per_s",
+            rate_per_s,
+            "must be finite and >= 0",
+        ));
+    }
+    if !(horizon_s.is_finite() && horizon_s >= 0.0) {
+        return Err(SimError::invalid_config(
+            "fault.horizon_s",
+            horizon_s,
+            "must be finite and >= 0",
+        ));
+    }
+    if let Some(r) = repair_s {
+        if !(r.is_finite() && r > 0.0) {
+            return Err(SimError::invalid_config(
+                "fault.repair_s",
+                r,
+                "must be finite and > 0",
+            ));
+        }
+    }
+    let expected = rate_per_s * horizon_s;
+    if expected > (MAX_GENERATED_EVENTS / 4) as f64 {
+        return Err(SimError::invalid_config(
+            "fault.rate_per_s",
+            rate_per_s,
+            "rate × horizon would generate too many fault events",
+        ));
+    }
+
+    let mut events = Vec::new();
+    if rate_per_s > 0.0 && horizon_s > 0.0 {
+        let cables = duplex_cables(net);
+        if !cables.is_empty() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = 0.0f64;
+            loop {
+                // Exponential inter-arrival via inverse transform; the
+                // vendored RNG draws uniforms in [0, 1), so 1 - u > 0.
+                let u: f64 = rng.random();
+                t += -(1.0 - u).ln() / rate_per_s;
+                // `t` is monotone and can only leave [0, horizon) upward
+                // (ln(1-u) is finite or -inf, never NaN), so >= is a safe
+                // exit condition even for t = +inf.
+                if t >= horizon_s || events.len() >= MAX_GENERATED_EVENTS {
+                    break;
+                }
+                let (fwd, rev) = cables[rng.random_range(0..cables.len())];
+                let mut push = |link: LinkId, time_s: f64, action: FaultAction| {
+                    events.push(FaultEvent {
+                        time_s,
+                        link: link.0,
+                        action,
+                    });
+                };
+                push(fwd, t, FaultAction::Down);
+                if let Some(r) = rev {
+                    push(r, t, FaultAction::Down);
+                }
+                if let Some(delay) = repair_s {
+                    push(fwd, t + delay, FaultAction::Up);
+                    if let Some(r) = rev {
+                        push(r, t + delay, FaultAction::Up);
+                    }
+                }
+            }
+        }
+    }
+    FaultSchedule::new(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exaflow_topo::{Topology, Torus};
+
+    fn ev(time_s: f64, link: u32, action: FaultAction) -> FaultEvent {
+        FaultEvent {
+            time_s,
+            link,
+            action,
+        }
+    }
+
+    #[test]
+    fn schedule_sorts_events() {
+        let s = FaultSchedule::new(vec![
+            ev(2.0, 1, FaultAction::Up),
+            ev(0.5, 0, FaultAction::Down),
+            ev(1.0, 1, FaultAction::Down),
+        ])
+        .unwrap();
+        let times: Vec<f64> = s.events().iter().map(|e| e.time_s).collect();
+        assert_eq!(times, vec![0.5, 1.0, 2.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn negative_or_nan_times_rejected() {
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let err = FaultSchedule::new(vec![ev(bad, 0, FaultAction::Down)]).unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidConfig { ref field, .. } if field == "fault.time_s"),
+                "{err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_link_rejected_against_network() {
+        let t = Torus::new(&[4]);
+        let s = FaultSchedule::new(vec![ev(1.0, 9999, FaultAction::Down)]).unwrap();
+        let err = s.validate_for(t.network()).unwrap_err();
+        assert!(
+            matches!(err, SimError::InvalidConfig { ref field, .. } if field == "fault.link"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn random_schedule_deterministic_in_seed() {
+        let t = Torus::new(&[4, 4]);
+        let spec = FaultScheduleSpec::Random {
+            seed: 42,
+            rate_per_s: 3.0,
+            horizon_s: 5.0,
+            repair_s: Some(0.5),
+        };
+        let a = spec.build(t.network()).unwrap();
+        let b = spec.build(t.network()).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Downs and ups pair off (every failure is repaired).
+        let downs = a
+            .events()
+            .iter()
+            .filter(|e| e.action == FaultAction::Down)
+            .count();
+        let ups = a
+            .events()
+            .iter()
+            .filter(|e| e.action == FaultAction::Up)
+            .count();
+        assert_eq!(downs, ups);
+    }
+
+    #[test]
+    fn zero_rate_is_empty_schedule() {
+        let t = Torus::new(&[4, 4]);
+        let spec = FaultScheduleSpec::Random {
+            seed: 1,
+            rate_per_s: 0.0,
+            horizon_s: 100.0,
+            repair_s: None,
+        };
+        assert!(spec.build(t.network()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn runaway_rate_is_typed_error() {
+        let t = Torus::new(&[4]);
+        let spec = FaultScheduleSpec::Random {
+            seed: 1,
+            rate_per_s: 1e9,
+            horizon_s: 1e9,
+            repair_s: None,
+        };
+        assert!(spec.build(t.network()).is_err());
+    }
+
+    #[test]
+    fn spec_serde_roundtrip() {
+        let spec = FaultScheduleSpec::Random {
+            seed: 7,
+            rate_per_s: 0.25,
+            horizon_s: 10.0,
+            repair_s: None,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"mode\":\"random\""), "{json}");
+        let back: FaultScheduleSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+
+        let spec = FaultScheduleSpec::Explicit {
+            events: vec![ev(1.5, 3, FaultAction::Down), ev(2.5, 3, FaultAction::Up)],
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"action\":\"down\""), "{json}");
+        let back: FaultScheduleSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn policy_serde_is_snake_case_string() {
+        for p in RecoveryPolicy::ALL {
+            let json = serde_json::to_string(&p).unwrap();
+            assert_eq!(json, format!("\"{}\"", p.name()));
+            let back: RecoveryPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+}

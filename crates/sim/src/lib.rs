@@ -21,14 +21,20 @@
 //!   relative `epsilon` of the earliest completion are retired in one event,
 //!   so symmetric workloads (collectives, stencils) advance in a handful of
 //!   events per phase instead of one event per flow.
+//! * **Mid-run fault injection** ([`fault`]): a [`FaultSchedule`] of
+//!   link-down/link-up events is consumed alongside completion events;
+//!   interrupted flows are aborted, dropped, or rerouted (resuming or
+//!   restarting the transfer) per the configured [`RecoveryPolicy`].
 
 pub mod dag;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod maxmin;
 pub mod report;
 
 pub use dag::{FlowDag, FlowDagBuilder, FlowId, FlowSpec};
 pub use engine::{SimConfig, Simulator};
 pub use error::SimError;
+pub use fault::{FaultAction, FaultEvent, FaultSchedule, FaultScheduleSpec, RecoveryPolicy};
 pub use report::SimReport;

@@ -26,9 +26,27 @@ pub struct SimReport {
     pub num_links: u64,
     /// Number of endpoints of the simulated topology.
     pub num_endpoints: u64,
+    /// Flows dropped by the `skip_unreachable` recovery policy because a
+    /// mid-run fault made their destination unreachable. Zero for fault-free
+    /// runs.
+    #[serde(default)]
+    pub skipped_flows: u64,
+    /// Ids of the dropped flows (their `completion_times` entries record the
+    /// drop time, not a delivery).
+    #[serde(default)]
+    pub skipped_flow_ids: Vec<u32>,
+    /// Link-down/link-up events from the fault schedule that actually fired
+    /// before the workload completed.
+    #[serde(default)]
+    pub fault_events_applied: u64,
 }
 
 impl SimReport {
+    /// Flows actually delivered to their destination (total minus skipped).
+    pub fn delivered_flows(&self) -> u64 {
+        self.flows - self.skipped_flows
+    }
+
     /// Average events per flow — a measure of how much completion batching
     /// compressed the event loop.
     pub fn events_per_flow(&self) -> f64 {
@@ -103,7 +121,31 @@ mod tests {
             resource_bytes: None,
             num_links: 2,
             num_endpoints: 2,
+            skipped_flows: 0,
+            skipped_flow_ids: Vec::new(),
+            fault_events_applied: 0,
         }
+    }
+
+    #[test]
+    fn delivered_flows_subtracts_skipped() {
+        let mut r = base();
+        assert_eq!(r.delivered_flows(), 10);
+        r.skipped_flows = 3;
+        r.skipped_flow_ids = vec![1, 4, 7];
+        assert_eq!(r.delivered_flows(), 7);
+    }
+
+    #[test]
+    fn fault_fields_default_when_absent_from_json() {
+        // Reports serialized before fault injection existed must still load.
+        let json = r#"{"makespan_seconds":1.0,"flows":2,"events":1,
+            "maxmin_iterations":1,"completion_times":null,
+            "resource_bytes":null,"num_links":2,"num_endpoints":2}"#;
+        let r: SimReport = serde_json::from_str(json).unwrap();
+        assert_eq!(r.skipped_flows, 0);
+        assert!(r.skipped_flow_ids.is_empty());
+        assert_eq!(r.fault_events_applied, 0);
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! network) surfaces as a [`RouteError`] through [`Topology::try_route`];
 //! the infallible [`Topology::route`] keeps the documented panic for
 //! callers that have already validated connectivity.
+//!
+//! [`Degraded`] models failures that exist *before* a run starts;
+//! [`FaultOverlay`] is its dynamic sibling — a mutable overlay the
+//! simulation engine drives with link-down/link-up transitions mid-run,
+//! with a reroute cache that a transition invalidates only as far as it
+//! must.
 
 use crate::{RouteError, Topology};
 use exaflow_netgraph::{LinkId, Network, NodeId};
@@ -19,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::cell::RefCell;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Reusable per-thread buffers for [`Degraded::is_affected`] and the BFS
 /// reroute: the failure-resilience harness calls both once per flow, and a
@@ -35,6 +41,58 @@ struct Scratch {
 
 thread_local! {
     static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// BFS a shortest path from `src` to `dst` over links for which `blocked`
+/// returns `false`, appending it to `out`. Returns `false` (leaving `out`
+/// untouched) when no such path exists. Shared by [`Degraded`] (static
+/// failure sets) and [`FaultOverlay`] (mid-run transitions).
+fn bfs_route(
+    net: &Network,
+    src: NodeId,
+    dst: NodeId,
+    blocked: impl Fn(LinkId) -> bool,
+    out: &mut Vec<LinkId>,
+) -> bool {
+    let n = net.num_nodes();
+    SCRATCH.with(|s| {
+        let scratch = &mut *s.borrow_mut();
+        let pred = &mut scratch.pred;
+        pred.clear();
+        pred.resize(n, u32::MAX);
+        let queue = &mut scratch.queue;
+        queue.clear();
+        pred[src.index()] = u32::MAX - 1; // visited marker for the source
+        queue.push_back(src);
+        'search: while let Some(node) = queue.pop_front() {
+            for &lid in net.out_links(node) {
+                if net.link(lid).is_virtual || blocked(lid) {
+                    continue;
+                }
+                let next = net.link(lid).dst;
+                if pred[next.index()] == u32::MAX {
+                    pred[next.index()] = lid.0;
+                    if next == dst {
+                        break 'search;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        if pred[dst.index()] == u32::MAX {
+            return false;
+        }
+        // Walk predecessors back to the source.
+        let start = out.len();
+        let mut at = dst;
+        while at != src {
+            let lid = LinkId(pred[at.index()]);
+            out.push(lid);
+            at = net.link(lid).src;
+        }
+        out[start..].reverse();
+        true
+    })
 }
 
 /// A topology with some links out of service.
@@ -159,50 +217,16 @@ impl<T: Topology> Degraded<T> {
         out: &mut Vec<LinkId>,
     ) -> Result<(), RouteError> {
         let net = self.inner.network();
-        let n = net.num_nodes();
-        SCRATCH.with(|s| {
-            let scratch = &mut *s.borrow_mut();
-            let pred = &mut scratch.pred;
-            pred.clear();
-            pred.resize(n, u32::MAX);
-            let queue = &mut scratch.queue;
-            queue.clear();
-            pred[src.index()] = u32::MAX - 1; // visited marker for the source
-            queue.push_back(src);
-            'search: while let Some(node) = queue.pop_front() {
-                for &lid in net.out_links(node) {
-                    if self.failed.contains(&lid.0) || net.link(lid).is_virtual {
-                        continue;
-                    }
-                    let next = net.link(lid).dst;
-                    if pred[next.index()] == u32::MAX {
-                        pred[next.index()] = lid.0;
-                        if next == dst {
-                            break 'search;
-                        }
-                        queue.push_back(next);
-                    }
-                }
-            }
-            if pred[dst.index()] == u32::MAX {
-                return Err(RouteError {
-                    src,
-                    dst,
-                    topology: self.inner.name(),
-                    failed_links: self.failed.len(),
-                });
-            }
-            // Walk predecessors back to the source.
-            let start = out.len();
-            let mut at = dst;
-            while at != src {
-                let lid = LinkId(pred[at.index()]);
-                out.push(lid);
-                at = net.link(lid).src;
-            }
-            out[start..].reverse();
+        if bfs_route(net, src, dst, |lid| self.failed.contains(&lid.0), out) {
             Ok(())
-        })
+        } else {
+            Err(RouteError {
+                src,
+                dst,
+                topology: self.inner.name(),
+                failed_links: self.failed.len(),
+            })
+        }
     }
 }
 
@@ -240,8 +264,168 @@ impl<T: Topology> Topology for Degraded<T> {
         Ok(())
     }
 
+    fn link_is_failed(&self, link: LinkId) -> bool {
+        self.failed.contains(&link.0)
+    }
+
+    fn num_failed_links(&self) -> usize {
+        self.failed.len()
+    }
+
     // Distance falls back to the default (route length): with failures
     // there is no closed form.
+}
+
+/// A **time-varying** failure overlay: the dynamic counterpart of
+/// [`Degraded`], consumed by the simulation engine's mid-run fault
+/// injection.
+///
+/// Where `Degraded` freezes a failure set before a run starts, a
+/// `FaultOverlay` borrows any topology (including a `Degraded` one — its
+/// static failures are honoured through [`Topology::link_is_failed`]) and
+/// applies link-down / link-up transitions *during* a run. Routing prefers
+/// the wrapped topology's deterministic path and falls back to a BFS over
+/// links that are neither statically nor dynamically failed.
+///
+/// Reroutes are memoised per `(src, dst)` pair under the *current* failure
+/// set; a transition invalidates only what it must:
+///
+/// * [`FaultOverlay::fail_link`] drops exactly the cached reroutes that
+///   traverse the newly-failed link (the rest remain valid), and
+/// * [`FaultOverlay::restore_link`] clears the cache, because *any* cached
+///   detour might now have a shorter — and for determinism, canonical —
+///   alternative through the restored link.
+pub struct FaultOverlay<'a> {
+    topo: &'a dyn Topology,
+    /// Dynamically failed links (on top of whatever `topo` already failed).
+    down: HashSet<u32>,
+    /// Reroutes valid under the current failure set.
+    cache: HashMap<(u32, u32), Box<[LinkId]>>,
+    cache_cap: usize,
+    transitions: u64,
+}
+
+impl<'a> FaultOverlay<'a> {
+    /// Default bound on memoised reroutes.
+    pub const DEFAULT_CACHE_CAP: usize = 1 << 16;
+
+    /// A healthy overlay over `topo` (no dynamic failures yet).
+    pub fn new(topo: &'a dyn Topology) -> Self {
+        Self::with_cache_cap(topo, Self::DEFAULT_CACHE_CAP)
+    }
+
+    /// A healthy overlay with a custom reroute-cache bound.
+    pub fn with_cache_cap(topo: &'a dyn Topology, cache_cap: usize) -> Self {
+        FaultOverlay {
+            topo,
+            down: HashSet::new(),
+            cache: HashMap::new(),
+            cache_cap,
+            transitions: 0,
+        }
+    }
+
+    /// The wrapped topology.
+    pub fn topology(&self) -> &'a dyn Topology {
+        self.topo
+    }
+
+    /// Whether `link` is out of service right now (dynamically or in the
+    /// wrapped topology's static failure set).
+    pub fn is_down(&self, link: LinkId) -> bool {
+        self.down.contains(&link.0) || self.topo.link_is_failed(link)
+    }
+
+    /// Number of dynamically failed links.
+    pub fn num_down(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Total failed links: dynamic plus the wrapped topology's static set.
+    pub fn total_failed_links(&self) -> usize {
+        self.down.len() + self.topo.num_failed_links()
+    }
+
+    /// Applied fail/restore transitions so far.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Take `link` out of service. Returns `false` (a no-op) when the link
+    /// is virtual, already statically failed, or already down; otherwise
+    /// invalidates exactly the cached reroutes crossing it.
+    pub fn fail_link(&mut self, link: LinkId) -> bool {
+        if self.topo.network().link(link).is_virtual || self.topo.link_is_failed(link) {
+            return false;
+        }
+        if !self.down.insert(link.0) {
+            return false;
+        }
+        self.transitions += 1;
+        self.cache.retain(|_, path| !path.contains(&link));
+        true
+    }
+
+    /// Return a dynamically-failed `link` to service. Returns `false` when
+    /// the link was not dynamically down (static failures cannot be
+    /// restored — they belong to the wrapped topology).
+    pub fn restore_link(&mut self, link: LinkId) -> bool {
+        if !self.down.remove(&link.0) {
+            return false;
+        }
+        self.transitions += 1;
+        self.cache.clear();
+        true
+    }
+
+    /// Route `src → dst` avoiding every currently-failed link, appending to
+    /// `out`. Prefers the wrapped topology's deterministic route; falls
+    /// back to a (memoised) BFS over surviving links, and reports a
+    /// partition as a [`RouteError`].
+    pub fn try_route(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) -> Result<(), RouteError> {
+        if src == dst {
+            return Ok(());
+        }
+        let start = out.len();
+        // The wrapped topology already avoids its own static failures (and
+        // errors on a static partition, which no dynamic repair can fix).
+        self.topo.try_route(src, dst, out)?;
+        if !out[start..].iter().any(|l| self.down.contains(&l.0)) {
+            return Ok(());
+        }
+        out.truncate(start);
+        if let Some(path) = self.cache.get(&(src.0, dst.0)) {
+            out.extend_from_slice(path);
+            return Ok(());
+        }
+        let net = self.topo.network();
+        let (down, topo) = (&self.down, self.topo);
+        let found = bfs_route(
+            net,
+            src,
+            dst,
+            |lid| down.contains(&lid.0) || topo.link_is_failed(lid),
+            out,
+        );
+        if !found {
+            return Err(RouteError {
+                src,
+                dst,
+                topology: self.topo.name(),
+                failed_links: self.total_failed_links(),
+            });
+        }
+        if self.cache.len() < self.cache_cap {
+            self.cache
+                .insert((src.0, dst.0), out[start..].to_vec().into_boxed_slice());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -368,5 +552,105 @@ mod tests {
     fn name_reports_failures() {
         let d = Degraded::new(Torus::new(&[4]), [LinkId(0)]);
         assert!(d.name().contains("1 failed link"));
+    }
+
+    fn duplex(t: &Torus, a: u32, b: u32) -> [LinkId; 2] {
+        let net = t.network();
+        [
+            net.find_physical_link(NodeId(a), NodeId(b)).unwrap(),
+            net.find_physical_link(NodeId(b), NodeId(a)).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn overlay_healthy_routes_match_topology() {
+        let t = Torus::new(&[4, 4]);
+        let mut overlay = FaultOverlay::new(&t);
+        for (s, d) in [(0u32, 5u32), (3, 12), (15, 0)] {
+            let mut path = Vec::new();
+            overlay.try_route(NodeId(s), NodeId(d), &mut path).unwrap();
+            assert_eq!(path, t.route_vec(NodeId(s), NodeId(d)));
+        }
+        assert_eq!(overlay.num_down(), 0);
+        assert_eq!(overlay.transitions(), 0);
+    }
+
+    #[test]
+    fn overlay_fail_and_restore_roundtrip() {
+        let t = Torus::new(&[4]);
+        let broken = first_route_link(&t, 0, 1);
+        let original = t.route_vec(NodeId(0), NodeId(1));
+        let mut overlay = FaultOverlay::new(&t);
+
+        assert!(overlay.fail_link(broken));
+        assert!(!overlay.fail_link(broken), "double-fail is a no-op");
+        let mut detour = Vec::new();
+        overlay
+            .try_route(NodeId(0), NodeId(1), &mut detour)
+            .unwrap();
+        assert!(!detour.contains(&broken));
+        assert_eq!(detour.len(), 3, "detour around one ring link is 3 hops");
+        // The detour is served from cache on a second call.
+        let mut again = Vec::new();
+        overlay.try_route(NodeId(0), NodeId(1), &mut again).unwrap();
+        assert_eq!(detour, again);
+
+        assert!(overlay.restore_link(broken));
+        assert!(!overlay.restore_link(broken), "double-restore is a no-op");
+        let mut back = Vec::new();
+        overlay.try_route(NodeId(0), NodeId(1), &mut back).unwrap();
+        assert_eq!(
+            back, original,
+            "restoration reverts to the deterministic route"
+        );
+        assert_eq!(overlay.transitions(), 2);
+    }
+
+    #[test]
+    fn overlay_partition_is_typed_error() {
+        // Ring 0-1-2-3: cutting cables (0,1) and (2,3) splits {0,3}|{1,2}.
+        let t = Torus::new(&[4]);
+        let mut overlay = FaultOverlay::new(&t);
+        for l in duplex(&t, 0, 1).into_iter().chain(duplex(&t, 2, 3)) {
+            assert!(overlay.fail_link(l));
+        }
+        let mut path = Vec::new();
+        let err = overlay
+            .try_route(NodeId(0), NodeId(1), &mut path)
+            .unwrap_err();
+        assert_eq!((err.src, err.dst), (NodeId(0), NodeId(1)));
+        assert_eq!(err.failed_links, 4);
+        assert!(path.is_empty(), "output buffer left clean on failure");
+        // Repairing one cut cable restores reachability.
+        for l in duplex(&t, 0, 1) {
+            assert!(overlay.restore_link(l));
+        }
+        overlay.try_route(NodeId(0), NodeId(1), &mut path).unwrap();
+        assert!(!path.is_empty());
+    }
+
+    #[test]
+    fn overlay_honours_static_failures_of_degraded() {
+        // Statically fail (0,1); dynamically fail (1,2). The route 0 -> 2
+        // must avoid both, and restoring the *static* link is refused.
+        let t = Torus::new(&[6]);
+        let static_cut = duplex(&t, 0, 1);
+        let degraded = Degraded::new(Torus::new(&[6]), static_cut);
+        let dynamic_cut = duplex(degraded.inner(), 1, 2);
+        let mut overlay = FaultOverlay::new(&degraded);
+        for l in dynamic_cut {
+            assert!(overlay.fail_link(l));
+        }
+        assert!(
+            !overlay.fail_link(static_cut[0]),
+            "statically failed already"
+        );
+        assert!(!overlay.restore_link(static_cut[0]));
+        let mut path = Vec::new();
+        overlay.try_route(NodeId(0), NodeId(2), &mut path).unwrap();
+        for l in static_cut.into_iter().chain(dynamic_cut) {
+            assert!(!path.contains(&l), "path crosses failed link {l:?}");
+        }
+        assert_eq!(overlay.total_failed_links(), 2 + 2);
     }
 }

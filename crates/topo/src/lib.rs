@@ -42,7 +42,7 @@ pub mod torus;
 
 pub use connection::{ConnectionRule, UplinkMap};
 pub use dragonfly::Dragonfly;
-pub use failures::Degraded;
+pub use failures::{Degraded, FaultOverlay};
 pub use ghc::GeneralizedHypercube;
 pub use jellyfish::Jellyfish;
 pub use kary_tree::KAryTree;
@@ -130,6 +130,19 @@ pub trait Topology: Send + Sync {
         Ok(())
     }
 
+    /// Whether `link` is currently out of service. Always `false` for the
+    /// healthy generators in this crate; [`Degraded`] overrides it so
+    /// wrappers layered on top (notably [`FaultOverlay`]) can avoid links
+    /// that were already failed before the run started.
+    fn link_is_failed(&self, _link: LinkId) -> bool {
+        false
+    }
+
+    /// Number of links currently out of service (for error reporting).
+    fn num_failed_links(&self) -> usize {
+        0
+    }
+
     /// Number of physical link hops of the deterministic route.
     ///
     /// The default computes the route; generators override this with an O(1)
@@ -168,6 +181,12 @@ impl Topology for Box<dyn Topology> {
         path: &mut Vec<LinkId>,
     ) -> Result<(), RouteError> {
         self.as_ref().try_route(src, dst, path)
+    }
+    fn link_is_failed(&self, link: LinkId) -> bool {
+        self.as_ref().link_is_failed(link)
+    }
+    fn num_failed_links(&self) -> usize {
+        self.as_ref().num_failed_links()
     }
     fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
         self.as_ref().distance(src, dst)

@@ -28,6 +28,7 @@ fn main() {
         mapping: MappingSpec::Linear,
         sim: SimConfig::default(),
         failures: None,
+        fault_injection: None,
     })
     .unwrap()
     .makespan_seconds;
@@ -50,6 +51,7 @@ fn main() {
                     mapping: MappingSpec::Linear,
                     sim: SimConfig::default(),
                     failures: None,
+                    fault_injection: None,
                 })
                 .unwrap();
                 let tier = match kind {

@@ -38,6 +38,7 @@ fn main() {
                 mapping: MappingSpec::Linear,
                 sim: SimConfig::default(),
                 failures: (count > 0).then_some(FailureSpec { count, seed: 5 }),
+                fault_injection: None,
             })
             .expect("run");
             let base = *healthy.get_or_insert(res.makespan_seconds);

@@ -31,6 +31,7 @@ fn main() {
             mapping: MappingSpec::Linear,
             sim: SimConfig::default(),
             failures: None,
+            fault_injection: None,
         })
         .expect("experiment runs");
         println!(

@@ -24,6 +24,7 @@ fn main() {
                 mapping: MappingSpec::Linear,
                 sim: SimConfig::default(),
                 failures: None,
+                fault_injection: None,
             })
             .unwrap()
             .makespan_seconds

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate failure_resilience_output.txt — the static random-cable-failure
+# slowdown table quoted in EXPERIMENTS.md ("Extensions" section).
+#
+# For the dynamic counterpart (mid-run faults, recovery policies, Monte-Carlo
+# replicas) run a campaign instead, e.g.:
+#   cargo run --release -p exaflow-cli --bin exaflow -- resilience campaign.json
+#
+# Usage: scripts/regen_failure_resilience.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --example failure_resilience | tee failure_resilience_output.txt
+echo "wrote failure_resilience_output.txt"

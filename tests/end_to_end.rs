@@ -25,6 +25,7 @@ fn every_workload_on_every_family() {
                 mapping: MappingSpec::Linear,
                 sim: SimConfig::default(),
                 failures: None,
+                fault_injection: None,
             })
             .unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
             assert!(
@@ -59,6 +60,7 @@ fn reduce_topology_insensitive() {
                 mapping: MappingSpec::Linear,
                 sim: SimConfig::default(),
                 failures: None,
+                fault_injection: None,
             })
             .unwrap()
             .makespan_seconds,
@@ -90,6 +92,7 @@ fn torus_loses_heavy_traffic_as_scale_grows() {
                 mapping: MappingSpec::Linear,
                 sim: SimConfig::default(),
                 failures: None,
+                fault_injection: None,
             })
             .unwrap()
             .makespan_seconds
@@ -122,6 +125,7 @@ fn sparser_uplinks_hurt_heavy_workloads() {
             mapping: MappingSpec::Linear,
             sim: SimConfig::default(),
             failures: None,
+            fault_injection: None,
         })
         .unwrap()
         .makespan_seconds
@@ -154,6 +158,7 @@ fn torus_wins_flood() {
             mapping: MappingSpec::Linear,
             sim: SimConfig::default(),
             failures: None,
+            fault_injection: None,
         })
         .unwrap()
         .makespan_seconds
@@ -184,6 +189,7 @@ fn config_roundtrip_reproduces_results() {
         mapping: MappingSpec::Random { seed: 5 },
         sim: SimConfig::default(),
         failures: None,
+        fault_injection: None,
     };
     let json = serde_json::to_string(&cfg).unwrap();
     let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
@@ -207,6 +213,7 @@ fn simulation_is_deterministic() {
         mapping: MappingSpec::Linear,
         sim: SimConfig::default(),
         failures: None,
+        fault_injection: None,
     };
     let a = run_experiment(&cfg).unwrap();
     let b = run_experiment(&cfg).unwrap();

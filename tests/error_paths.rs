@@ -15,6 +15,7 @@ fn valid() -> ExperimentConfig {
         mapping: MappingSpec::Linear,
         sim: SimConfig::default(),
         failures: None,
+        fault_injection: None,
     }
 }
 
@@ -38,8 +39,8 @@ fn mixed_suite_reports_typed_errors_per_entry() {
     let mut zero_failures = valid();
     zero_failures.failures = Some(FailureSpec { count: 0, seed: 1 });
 
-    // A 1-task Reduce has no flows, so an oversized failure request
-    // succeeds with the shortfall recorded rather than erroring.
+    // More failures than the topology has safely removable cables: an
+    // inconsistent spec, rejected at the boundary (no silent clamping).
     let mut oversized_failures = valid();
     oversized_failures.workload = WorkloadSpec::Reduce { tasks: 1, bytes: 1 };
     oversized_failures.failures = Some(FailureSpec {
@@ -92,15 +93,18 @@ fn mixed_suite_reports_typed_errors_per_entry() {
         run.results[5].as_ref().unwrap_err(),
         ExperimentError::InvalidFailures { .. }
     ));
-    let truncated = run.results[6].as_ref().unwrap();
-    assert_eq!(truncated.failed_cables_requested, 10_000);
-    assert!(truncated.failed_cables_applied < 10_000);
+    match run.results[6].as_ref().unwrap_err() {
+        ExperimentError::InvalidFailures { reason } => {
+            assert!(reason.contains("10000"), "{reason}");
+        }
+        other => panic!("expected InvalidFailures, got {other:?}"),
+    }
     assert!(run.results[7].is_ok());
 
     // Failures never bleed into neighbours or abort the suite.
     assert_eq!(run.report.experiments, n);
-    assert_eq!(run.report.succeeded, 3);
-    assert_eq!(run.report.failed, n - 3);
+    assert_eq!(run.report.succeeded, 2);
+    assert_eq!(run.report.failed, n - 2);
     // The two healthy AllReduce entries agree bit-for-bit: errors in
     // between did not perturb scheduling-visible state.
     assert_eq!(

@@ -59,6 +59,7 @@ fn mixed_suite() -> Vec<ExperimentConfig> {
             mapping,
             sim: SimConfig::default(),
             failures,
+            fault_injection: None,
         });
     }
     configs
@@ -113,6 +114,7 @@ fn panicking_config_is_isolated() {
         mapping: MappingSpec::Linear,
         sim: SimConfig::default(),
         failures: None,
+        fault_injection: None,
     };
     let mut bad = good(32);
     // 32 tasks * stride 1000 >> 64 endpoints: panics inside the experiment,
