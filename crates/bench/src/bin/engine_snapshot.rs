@@ -1,0 +1,230 @@
+//! Emits a `BENCH_engine.json` perf snapshot for the rate engine: the
+//! solver-level incremental-vs-full churn scenario (the issue's ≥ 3x
+//! acceptance number) plus end-to-end engine runs with the fast paths on
+//! vs off, with equivalence verified on every scenario.
+//!
+//! The vendored criterion stub cannot write machine-readable output, so
+//! this binary is the perf-trajectory recorder: run
+//! `scripts/bench_engine.sh` after perf-relevant changes and diff the
+//! snapshot.
+//!
+//! Usage: `engine_snapshot [output.json]` (default `BENCH_engine.json`).
+
+use exaflow::prelude::*;
+use exaflow::sim::maxmin::MaxMinSolver;
+use exaflow_bench::allreduce_round0_paths;
+use serde::Serialize;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Churn events in the solver-level scenario.
+const EVENTS: usize = 256;
+
+#[derive(Serialize)]
+struct SolverChurn {
+    name: &'static str,
+    flows: usize,
+    events: usize,
+    full_seconds: f64,
+    incremental_seconds: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+#[derive(Serialize)]
+struct EngineRun {
+    name: &'static str,
+    makespan_seconds: f64,
+    events: u64,
+    flows: u64,
+    full_wall_seconds: f64,
+    fast_wall_seconds: f64,
+    speedup: f64,
+    rate_recomputes: u64,
+    flows_coalesced: u64,
+    reports_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Snapshot {
+    solver: SolverChurn,
+    engine: Vec<EngineRun>,
+}
+
+/// The issue's acceptance scenario: a 4096-endpoint AllReduce active set
+/// (8192 resources touched) where each event retires and re-admits one
+/// flow. Full water-filling per event vs dirty-component recompute.
+fn solver_churn() -> SolverChurn {
+    let (resources, paths) = allreduce_round0_paths(&[16, 16, 16]);
+    let caps = vec![10e9; resources];
+    let flows = paths.len();
+
+    let mut full = MaxMinSolver::new(caps.clone()).unwrap();
+    let mut rates = vec![0.0; flows];
+    let t = Instant::now();
+    for _ in 0..EVENTS {
+        full.solve(black_box(&paths), &mut rates);
+    }
+    let full_seconds = t.elapsed().as_secs_f64();
+
+    let mut inc = MaxMinSolver::new(caps).unwrap();
+    let mut ids: Vec<u32> = paths
+        .iter()
+        .map(|p| inc.insert_entry(Arc::from(p.as_slice()), true))
+        .collect();
+    inc.recompute(true, 0.5);
+    let t = Instant::now();
+    for e in 0..EVENTS {
+        let k = (e * 101) % flows;
+        inc.remove_entry(ids[k]);
+        ids[k] = inc.insert_entry(Arc::from(paths[k].as_slice()), true);
+        inc.recompute(true, 0.5);
+        black_box(inc.entry_rate(ids[k]));
+    }
+    let incremental_seconds = t.elapsed().as_secs_f64();
+
+    let bit_identical = ids
+        .iter()
+        .zip(&rates)
+        .all(|(id, r)| inc.entry_rate(*id).to_bits() == r.to_bits());
+    SolverChurn {
+        name: "solver_churn_allreduce_4096ep",
+        flows,
+        events: EVENTS,
+        full_seconds,
+        incremental_seconds,
+        speedup: full_seconds / incremental_seconds,
+        bit_identical,
+    }
+}
+
+/// Serialize a report with the solver-effort counters zeroed (the only
+/// fields allowed to differ between engine modes).
+fn canonical(report: &SimReport) -> String {
+    let mut r = report.clone();
+    r.maxmin_iterations = 0;
+    r.rate_recomputes = 0;
+    r.flows_coalesced = 0;
+    serde_json::to_string(&r).unwrap()
+}
+
+fn engine_run(name: &'static str, spec: &TopologySpec, workload: &WorkloadSpec) -> EngineRun {
+    let topo = spec.build().unwrap();
+    let eps = topo.num_endpoints();
+    let dag = workload.generate(&TaskMapping::linear(workload.num_tasks(), eps));
+    engine_run_dag(name, topo.as_ref(), &dag)
+}
+
+fn engine_run_dag(name: &'static str, topo: &dyn Topology, dag: &FlowDag) -> EngineRun {
+    let cfg = |fast: bool| SimConfig {
+        solver_incremental: fast,
+        coalesce_flows: fast,
+        ..SimConfig::default()
+    };
+
+    let t = Instant::now();
+    let full = Simulator::with_config(topo, cfg(false)).run(dag).unwrap();
+    let full_wall_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let fast = Simulator::with_config(topo, cfg(true)).run(dag).unwrap();
+    let fast_wall_seconds = t.elapsed().as_secs_f64();
+
+    EngineRun {
+        name,
+        makespan_seconds: fast.makespan_seconds,
+        events: fast.events,
+        flows: fast.flows,
+        full_wall_seconds,
+        fast_wall_seconds,
+        speedup: full_wall_seconds / fast_wall_seconds,
+        rate_recomputes: fast.rate_recomputes,
+        flows_coalesced: fast.flows_coalesced,
+        reports_identical: canonical(&full) == canonical(&fast),
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let scale = SystemScale::DEFAULT_SIM;
+    let [gx, gy, gz] = scale.torus_dims();
+
+    let solver = solver_churn();
+    eprintln!(
+        "{}: full {:.4}s, incremental {:.4}s, speedup {:.0}x ({})",
+        solver.name,
+        solver.full_seconds,
+        solver.incremental_seconds,
+        solver.speedup,
+        if solver.bit_identical {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    // The incremental engine's target regime: staggered flow sizes mean
+    // every completion is its own event perturbing one tiny component —
+    // at exascale the dominant shape (EvalNet/OutFlank observation).
+    let staggered = {
+        let topo = Torus::new(&[16, 16, 16]); // 4096 endpoints
+        let mut b = FlowDagBuilder::new();
+        for i in 0..topo.num_endpoints() as u32 {
+            b.add_flow(
+                NodeId(i),
+                NodeId(i ^ 1),
+                presets::MIB + 4096 * i as u64,
+                &[],
+            );
+        }
+        let dag = b.build();
+        engine_run_dag("staggered_pairs_4096ep_torus", &topo, &dag)
+    };
+
+    let engine = vec![
+        staggered,
+        engine_run(
+            "allreduce_2048_torus",
+            &scale.torus_spec(),
+            &WorkloadSpec::AllReduce {
+                tasks: scale.qfdbs as usize,
+                bytes: presets::MIB,
+            },
+        ),
+        engine_run(
+            "flood_2048_torus",
+            &scale.torus_spec(),
+            &WorkloadSpec::Flood {
+                gx,
+                gy,
+                gz,
+                bytes: 256 << 10,
+                waves: 4,
+            },
+        ),
+    ];
+    for run in &engine {
+        eprintln!(
+            "{}: full {:.4}s, fast {:.4}s, speedup {:.2}x, {} recomputes, \
+             {} coalesced ({})",
+            run.name,
+            run.full_wall_seconds,
+            run.fast_wall_seconds,
+            run.speedup,
+            run.rate_recomputes,
+            run.flows_coalesced,
+            if run.reports_identical {
+                "reports identical"
+            } else {
+                "REPORTS DIVERGED"
+            }
+        );
+    }
+
+    let snapshot = Snapshot { solver, engine };
+    let body = serde_json::to_string_pretty(&snapshot).expect("serialise snapshot");
+    std::fs::write(&out, body).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -115,6 +115,14 @@ pub struct ExperimentResult {
     /// Scheduled fault events that actually fired during the run.
     #[serde(default)]
     pub fault_events_applied: u64,
+    /// Water-filling passes the solver executed (effort metric; see
+    /// [`exaflow_sim::SimReport::rate_recomputes`]).
+    #[serde(default)]
+    pub rate_recomputes: u64,
+    /// Flows coalesced into identical-path solver entries (0 with
+    /// `coalesce_flows` off; absent in pre-incremental result files).
+    #[serde(default)]
+    pub flows_coalesced: u64,
 }
 
 /// Build the topology, generate the workload, simulate, report.
@@ -187,6 +195,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Experi
         failed_cables_applied: cables_applied,
         skipped_flows: report.skipped_flows,
         fault_events_applied: report.fault_events_applied,
+        rate_recomputes: report.rate_recomputes,
+        flows_coalesced: report.flows_coalesced,
     })
 }
 

@@ -60,6 +60,8 @@ mod tests {
             failed_cables_applied: 0,
             skipped_flows: 0,
             fault_events_applied: 0,
+            rate_recomputes: 0,
+            flows_coalesced: 0,
         }
     }
 

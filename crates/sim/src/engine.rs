@@ -11,6 +11,7 @@ use exaflow_topo::{FaultOverlay, Topology};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Engine configuration.
 ///
@@ -52,6 +53,34 @@ pub struct SimConfig {
     pub cache_routes: bool,
     /// Maximum number of cached routes.
     pub route_cache_cap: usize,
+    /// Incremental rate allocation: on each event, re-solve only the
+    /// connected component(s) of the flow–resource sharing graph that
+    /// changed (see `maxmin` module docs). Falls back to a full pass on
+    /// fault events and when the dirty region exceeds
+    /// `incremental_full_threshold`. Rates — and therefore the whole
+    /// report — are bit-identical to the full per-event solve.
+    #[serde(default = "default_true")]
+    pub solver_incremental: bool,
+    /// Coalesce active flows with identical resource paths into one
+    /// weighted solver entry. Collapses symmetric collectives (AllReduce
+    /// rounds, MapReduce shuffles) by orders of magnitude; bit-identical
+    /// to solving the flows separately.
+    #[serde(default = "default_true")]
+    pub coalesce_flows: bool,
+    /// Dirty-region fraction (of live entries) above which an incremental
+    /// recompute degrades to a full pass; `0.0..=1.0`. Small components
+    /// are cheaper to re-solve in place, near-global ones are not worth
+    /// the bookkeeping.
+    #[serde(default = "default_full_threshold")]
+    pub incremental_full_threshold: f64,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+fn default_full_threshold() -> f64 {
+    0.5
 }
 
 impl SimConfig {
@@ -89,6 +118,14 @@ impl SimConfig {
                 ));
             }
         }
+        let t = self.incremental_full_threshold;
+        if !(t.is_finite() && (0.0..=1.0).contains(&t)) {
+            return Err(SimError::invalid_config(
+                "incremental_full_threshold",
+                t,
+                "must be finite and within 0..=1",
+            ));
+        }
         Ok(())
     }
 }
@@ -105,6 +142,9 @@ impl Default for SimConfig {
             collect_link_stats: false,
             cache_routes: true,
             route_cache_cap: 1 << 21,
+            solver_incremental: true,
+            coalesce_flows: true,
+            incremental_full_threshold: 0.5,
         }
     }
 }
@@ -126,6 +166,12 @@ struct SimConfigUnchecked {
     collect_link_stats: bool,
     cache_routes: bool,
     route_cache_cap: usize,
+    #[serde(default = "default_true")]
+    solver_incremental: bool,
+    #[serde(default = "default_true")]
+    coalesce_flows: bool,
+    #[serde(default = "default_full_threshold")]
+    incremental_full_threshold: f64,
 }
 
 impl serde::de::Deserialize for SimConfig {
@@ -141,6 +187,9 @@ impl serde::de::Deserialize for SimConfig {
             collect_link_stats: raw.collect_link_stats,
             cache_routes: raw.cache_routes,
             route_cache_cap: raw.route_cache_cap,
+            solver_incremental: raw.solver_incremental,
+            coalesce_flows: raw.coalesce_flows,
+            incremental_full_threshold: raw.incremental_full_threshold,
         };
         cfg.validate().map_err(serde::de::Error::custom)?;
         Ok(cfg)
@@ -265,7 +314,7 @@ impl<'a> Simulator<'a> {
         let (succ_offsets, succs) = dag.successors();
 
         let mut solver = MaxMinSolver::new(self.resource_capacities())?;
-        let mut route_cache: HashMap<(u32, u32), Box<[u32]>> = HashMap::new();
+        let mut route_cache: HashMap<(u32, u32), Arc<[u32]>> = HashMap::new();
         let mut overlay = FaultOverlay::new(self.topo);
         let fault_events = schedule.events();
         let mut fault_idx = 0usize;
@@ -290,11 +339,16 @@ impl<'a> Simulator<'a> {
 
         // Active set: parallel vectors of flow id and path (resource list).
         let mut active_ids: Vec<u32> = Vec::new();
-        let mut active_paths: Vec<Box<[u32]>> = Vec::new();
+        let mut active_paths: Vec<Arc<[u32]>> = Vec::new();
         let mut rates: Vec<f64> = Vec::new();
+        // Incremental/coalesced mode: per-active-flow solver entry id,
+        // parallel to `active_ids` (every swap_remove mirrors it).
+        let use_entries = self.cfg.solver_incremental || self.cfg.coalesce_flows;
+        let coalesce = self.cfg.coalesce_flows;
+        let mut active_entries: Vec<u32> = Vec::new();
         // Flows waiting out their head latency.
         let mut delayed: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
-        let mut delayed_paths: HashMap<u32, Box<[u32]>> = HashMap::new();
+        let mut delayed_paths: HashMap<u32, Arc<[u32]>> = HashMap::new();
 
         let mut now = 0.0f64;
         let mut completed = 0usize;
@@ -325,6 +379,19 @@ impl<'a> Simulator<'a> {
             }};
         }
 
+        // Admit flow `f` with `path` into the active set, registering a
+        // solver entry in incremental/coalesced mode.
+        macro_rules! admit {
+            ($f:expr, $path:expr) => {{
+                let path: Arc<[u32]> = $path;
+                if use_entries {
+                    active_entries.push(solver.insert_entry(path.clone(), coalesce));
+                }
+                active_ids.push($f);
+                active_paths.push(path);
+            }};
+        }
+
         // Activation: instantly retire degenerate flows (zero bytes or
         // self-traffic) cascading; queue real flows into the active set or,
         // under the latency model, into the delayed heap.
@@ -341,7 +408,7 @@ impl<'a> Simulator<'a> {
                     } else {
                         None
                     };
-                    let path: Box<[u32]> = match cached {
+                    let path: Arc<[u32]> = match cached {
                         Some(p) => p,
                         None => match self.build_path(
                             &mut overlay,
@@ -378,8 +445,7 @@ impl<'a> Simulator<'a> {
                         delayed.push(Reverse((Time(at), f)));
                         delayed_paths.insert(f, path);
                     } else {
-                        active_ids.push(f);
-                        active_paths.push(path);
+                        admit!(f, path);
                     }
                 }
             };
@@ -432,6 +498,12 @@ impl<'a> Simulator<'a> {
                 } else if !downed.is_empty() {
                     route_cache.retain(|_, p| !p.iter().any(|r| downed.contains(r)));
                 }
+                if use_entries && (restored || !downed.is_empty()) {
+                    // Fault churn perturbs the sharing graph beyond the
+                    // entry-level diff (coalesced groups included): force
+                    // the next recompute to cover every live entry.
+                    solver.invalidate_all();
+                }
                 if !downed.is_empty() {
                     let crosses = |p: &[u32]| p.iter().find(|r| downed.contains(r)).copied();
                     // Active flows first, in deterministic index order...
@@ -452,6 +524,10 @@ impl<'a> Simulator<'a> {
                         let spec = dag.flow(FlowId(f));
                         match self.build_path(&mut overlay, spec.src, spec.dst, &mut path_scratch) {
                             Ok(p) => {
+                                if use_entries {
+                                    solver.remove_entry(active_entries[i]);
+                                    active_entries[i] = solver.insert_entry(p.clone(), coalesce);
+                                }
                                 active_paths[i] = p;
                                 if matches!(policy, RecoveryPolicy::RerouteRestart) {
                                     // Retransmit from zero on the new path.
@@ -465,6 +541,10 @@ impl<'a> Simulator<'a> {
                                     skipped_flow_ids.push(f);
                                     active_ids.swap_remove(i);
                                     active_paths.swap_remove(i);
+                                    if use_entries {
+                                        solver.remove_entry(active_entries[i]);
+                                        active_entries.swap_remove(i);
+                                    }
                                     // `rates` is resized before the next solve.
                                 } else {
                                     return Err(e);
@@ -537,15 +617,13 @@ impl<'a> Simulator<'a> {
                 }
                 let Reverse((Time(t), f)) = delayed.pop().expect("peeked entry");
                 now = now.max(t);
-                active_ids.push(f);
-                active_paths.push(delayed_paths.remove(&f).expect("delayed path"));
+                admit!(f, delayed_paths.remove(&f).expect("delayed path"));
                 loop {
                     purge_cancelled!();
                     match delayed.peek() {
                         Some(Reverse((Time(t2), _))) if *t2 <= now => {
                             let Reverse((_, f2)) = delayed.pop().expect("peeked entry");
-                            active_ids.push(f2);
-                            active_paths.push(delayed_paths.remove(&f2).expect("delayed path"));
+                            admit!(f2, delayed_paths.remove(&f2).expect("delayed path"));
                         }
                         _ => break,
                     }
@@ -555,7 +633,17 @@ impl<'a> Simulator<'a> {
 
             events += 1;
             rates.resize(active_ids.len(), 0.0);
-            solver.solve(&active_paths, &mut rates);
+            if use_entries {
+                solver.recompute(
+                    self.cfg.solver_incremental,
+                    self.cfg.incremental_full_threshold,
+                );
+                for (i, &e) in active_entries.iter().enumerate() {
+                    rates[i] = solver.entry_rate(e);
+                }
+            } else {
+                solver.solve(&active_paths, &mut rates);
+            }
 
             // Earliest completion among active flows.
             let mut dt = f64::INFINITY;
@@ -610,8 +698,7 @@ impl<'a> Simulator<'a> {
                         match delayed.peek() {
                             Some(Reverse((Time(t2), _))) if *t2 <= now => {
                                 let Reverse((_, f2)) = delayed.pop().expect("peeked entry");
-                                active_ids.push(f2);
-                                active_paths.push(delayed_paths.remove(&f2).expect("delayed path"));
+                                admit!(f2, delayed_paths.remove(&f2).expect("delayed path"));
                             }
                             _ => break,
                         }
@@ -645,6 +732,10 @@ impl<'a> Simulator<'a> {
                     active_paths.swap_remove(i);
                     rates.swap_remove(i);
                     done_flags.swap_remove(i);
+                    if use_entries {
+                        solver.remove_entry(active_entries[i]);
+                        active_entries.swap_remove(i);
+                    }
                 } else {
                     i += 1;
                 }
@@ -680,6 +771,8 @@ impl<'a> Simulator<'a> {
             skipped_flows: skipped_flow_ids.len() as u64,
             skipped_flow_ids,
             fault_events_applied,
+            rate_recomputes: solver.rate_recomputes,
+            flows_coalesced: solver.flows_coalesced,
         })
     }
 
@@ -691,7 +784,7 @@ impl<'a> Simulator<'a> {
         &self,
         now: f64,
         active_ids: &[u32],
-        active_paths: &[Box<[u32]>],
+        active_paths: &[Arc<[u32]>],
         rates: &[f64],
         solver: &MaxMinSolver,
     ) -> SimError {
@@ -727,7 +820,7 @@ impl<'a> Simulator<'a> {
         &self,
         dt: f64,
         active_ids: &[u32],
-        active_paths: &[Box<[u32]>],
+        active_paths: &[Arc<[u32]>],
         rates: &[f64],
         remaining: &mut [f64],
         resource_bytes: &mut [f64],
@@ -752,13 +845,16 @@ impl<'a> Simulator<'a> {
     /// failures the overlay defers to the topology's own deterministic
     /// route. An unreachable destination (failed links partitioning the
     /// network) is a typed error, not a panic.
+    ///
+    /// Paths are interned as `Arc<[u32]>`: route-cache hits, the active
+    /// set, and coalesced solver groups all share one allocation.
     fn build_path(
         &self,
         overlay: &mut FaultOverlay,
         src: u32,
         dst: u32,
         scratch: &mut Vec<LinkId>,
-    ) -> Result<Box<[u32]>, SimError> {
+    ) -> Result<Arc<[u32]>, SimError> {
         scratch.clear();
         overlay
             .try_route(NodeId(src), NodeId(dst), scratch)
@@ -772,7 +868,7 @@ impl<'a> Simulator<'a> {
         path.push(self.injection_resource(src));
         path.extend(scratch.iter().map(|l| l.0));
         path.push(self.ejection_resource(dst));
-        Ok(path.into_boxed_slice())
+        Ok(path.into())
     }
 }
 

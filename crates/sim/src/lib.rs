@@ -17,6 +17,15 @@
 //!   paper's explanation for Reduce being topology-insensitive.
 //! * **Max-min** is computed by progressive filling with a lazy min-heap
 //!   ([`maxmin`]), `O(Σ path length · log R)` per recomputation.
+//! * **Incremental rate allocation** (on by default, see
+//!   [`SimConfig::solver_incremental`]): between events the solver keeps a
+//!   persistent flow–resource incidence and re-solves only the connected
+//!   component(s) of the sharing graph that an arrival/departure/reroute
+//!   touched, falling back to a full pass on fault events or near-global
+//!   dirty regions. [`SimConfig::coalesce_flows`] further merges active
+//!   flows with identical paths into one weighted entry. Both paths are
+//!   **bit-identical** to the full per-event solve (proved by construction
+//!   in [`maxmin`] and enforced by the equivalence test suites).
 //! * **Batched completions** ([`engine`]): all flows finishing within a
 //!   relative `epsilon` of the earliest completion are retired in one event,
 //!   so symmetric workloads (collectives, stencils) advance in a handful of

@@ -15,10 +15,40 @@
 //! All scratch state lives in [`MaxMinSolver`] and is reused across calls
 //! (the engine recomputes rates at every completion event), with touched
 //! lists to avoid `O(total resources)` clearing.
+//!
+//! # Incremental mode
+//!
+//! [`MaxMinSolver::solve`] recomputes every flow from scratch. The
+//! *incremental* entry API ([`MaxMinSolver::insert_entry`],
+//! [`MaxMinSolver::remove_entry`], [`MaxMinSolver::recompute`]) instead
+//! keeps a persistent per-resource incidence of the active flows and, on
+//! each change, re-runs water-filling only over the connected component(s)
+//! of the flow–resource sharing graph that the change touched. Identical
+//! paths can further be coalesced into one weighted entry.
+//!
+//! Both fast paths produce rates **bit-identical** to a from-scratch
+//! [`MaxMinSolver::solve`] over the same flow set:
+//!
+//! * Water-filling decomposes over connected components: a resource's
+//!   `remaining`/`count` trajectory only depends on flows of its own
+//!   component, and the bottleneck heap's ordering (share, then resource
+//!   id) is a total order over *valid* entries, so interleaving components
+//!   in one heap or solving them separately freezes every flow at the same
+//!   share.
+//! * A weighted entry subtracts its share from each crossed resource once
+//!   *per unit of weight* (repeated subtraction, not `share * weight`), so
+//!   the floating-point trajectory matches `weight` separate flows exactly.
+//!
+//! The dirty region of a change is the BFS closure, over the *new* sharing
+//! graph, of the resources on every inserted/removed/rerouted path since
+//! the last recompute; [`MaxMinSolver::invalidate_all`] degrades the next
+//! recompute to a full one (used for fault-overlay churn), as does a dirty
+//! region larger than a caller-chosen fraction of the active set.
 
 use crate::error::SimError;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Heap entry: min-share ordering with lazy invalidation by version.
 #[derive(Debug, PartialEq)]
@@ -67,6 +97,36 @@ pub struct MaxMinSolver {
     heap: BinaryHeap<HeapEntry>,
     /// Statistics: total freeze iterations across calls.
     pub iterations: u64,
+    /// Statistics: water-filling passes executed (full or partial).
+    pub rate_recomputes: u64,
+    /// Statistics: full (non-component) passes among `rate_recomputes`.
+    pub full_recomputes: u64,
+    /// Statistics: flows absorbed into an existing coalesced entry.
+    pub flows_coalesced: u64,
+    // ---- incremental entry store (see module docs) ----
+    // Slot `e` is live iff `ent_path[e].is_some()`; freed slots recycle
+    // through `free_ents`. A live entry represents `ent_weight[e]` flows
+    // sharing one path.
+    ent_path: Vec<Option<Arc<[u32]>>>,
+    ent_weight: Vec<u32>,
+    ent_rate: Vec<f64>,
+    free_ents: Vec<u32>,
+    live_entries: usize,
+    /// Coalescing index: path -> entry id (only for coalesced inserts).
+    by_path: HashMap<Arc<[u32]>, u32>,
+    /// Persistent incidence: resource -> live entries crossing it, one
+    /// occurrence per occurrence of the resource on the entry's path.
+    res_entries: Vec<Vec<u32>>,
+    /// Resources whose entry set changed since the last recompute.
+    dirty_res: Vec<u32>,
+    /// Force a full pass on the next recompute (fault churn).
+    pending_full: bool,
+    // Epoch-stamped BFS visit marks and component scratch.
+    res_mark: Vec<u32>,
+    ent_mark: Vec<u32>,
+    epoch: u32,
+    comp_entries: Vec<u32>,
+    comp_res: Vec<u32>,
 }
 
 impl MaxMinSolver {
@@ -100,6 +160,23 @@ impl MaxMinSolver {
             res_flows: Vec::new(),
             heap: BinaryHeap::new(),
             iterations: 0,
+            rate_recomputes: 0,
+            full_recomputes: 0,
+            flows_coalesced: 0,
+            ent_path: Vec::new(),
+            ent_weight: Vec::new(),
+            ent_rate: Vec::new(),
+            free_ents: Vec::new(),
+            live_entries: 0,
+            by_path: HashMap::new(),
+            res_entries: Vec::new(),
+            dirty_res: Vec::new(),
+            pending_full: false,
+            res_mark: Vec::new(),
+            ent_mark: Vec::new(),
+            epoch: 0,
+            comp_entries: Vec::new(),
+            comp_res: Vec::new(),
         })
     }
 
@@ -121,6 +198,8 @@ impl MaxMinSolver {
     pub fn solve<P: AsRef<[u32]>>(&mut self, paths: &[P], rates: &mut [f64]) {
         let num_flows = paths.len();
         assert!(rates.len() >= num_flows);
+        self.rate_recomputes += 1;
+        self.full_recomputes += 1;
         // Reset scratch for previously touched resources.
         for &r in &self.touched {
             self.count[r as usize] = 0;
@@ -222,6 +301,309 @@ impl MaxMinSolver {
             debug_assert_eq!(self.count[r], 0, "bottleneck must fully drain");
             self.version[r] += 1;
         }
+    }
+
+    // ---- incremental entry API ----
+
+    /// Lazily size the persistent incidence structures. Solvers used only
+    /// through [`MaxMinSolver::solve`] never pay for them.
+    fn ensure_incremental(&mut self) {
+        if self.res_entries.len() != self.capacity.len() {
+            self.res_entries = vec![Vec::new(); self.capacity.len()];
+            self.res_mark = vec![0; self.capacity.len()];
+        }
+    }
+
+    /// Register one flow crossing `path`. With `coalesce`, a flow whose
+    /// path is already active joins the existing entry (weight + 1) and the
+    /// same id is returned; every [`MaxMinSolver::remove_entry`] of that id
+    /// sheds one unit of weight. The new rate is available from
+    /// [`MaxMinSolver::entry_rate`] after the next recompute (an empty path
+    /// is unconstrained and rated `INFINITY` immediately).
+    pub fn insert_entry(&mut self, path: Arc<[u32]>, coalesce: bool) -> u32 {
+        self.ensure_incremental();
+        debug_assert!(path.iter().all(|&r| (r as usize) < self.capacity.len()));
+        self.dirty_res.extend_from_slice(&path);
+        if coalesce {
+            if let Some(&id) = self.by_path.get(&path) {
+                self.ent_weight[id as usize] += 1;
+                self.flows_coalesced += 1;
+                return id;
+            }
+        }
+        let id = match self.free_ents.pop() {
+            Some(i) => i,
+            None => {
+                self.ent_path.push(None);
+                self.ent_weight.push(0);
+                self.ent_rate.push(-1.0);
+                self.ent_mark.push(0);
+                (self.ent_path.len() - 1) as u32
+            }
+        };
+        let ei = id as usize;
+        for &r in path.iter() {
+            self.res_entries[r as usize].push(id);
+        }
+        self.ent_weight[ei] = 1;
+        self.ent_rate[ei] = if path.is_empty() { f64::INFINITY } else { -1.0 };
+        self.ent_mark[ei] = 0;
+        if coalesce {
+            self.by_path.insert(path.clone(), id);
+        }
+        self.ent_path[ei] = Some(path);
+        self.live_entries += 1;
+        id
+    }
+
+    /// Remove one flow from entry `id` (one unit of weight); the entry
+    /// itself is freed when its weight reaches zero.
+    pub fn remove_entry(&mut self, id: u32) {
+        let ei = id as usize;
+        let path = self.ent_path[ei].clone().expect("remove of a live entry");
+        debug_assert!(self.ent_weight[ei] > 0);
+        self.dirty_res.extend_from_slice(&path);
+        self.ent_weight[ei] -= 1;
+        if self.ent_weight[ei] > 0 {
+            return;
+        }
+        for &r in path.iter() {
+            let list = &mut self.res_entries[r as usize];
+            let pos = list.iter().position(|&e| e == id).expect("incidence");
+            list.swap_remove(pos);
+        }
+        if self.by_path.get(&path) == Some(&id) {
+            self.by_path.remove(&path);
+        }
+        self.ent_path[ei] = None;
+        self.free_ents.push(id);
+        self.live_entries -= 1;
+    }
+
+    /// Degrade the next [`MaxMinSolver::recompute`] to a full pass over
+    /// every live entry. Coalesced groups survive (their path identity is
+    /// unchanged); callers rerouting flows must `remove_entry` +
+    /// `insert_entry` them individually.
+    pub fn invalidate_all(&mut self) {
+        self.pending_full = true;
+        self.dirty_res.clear();
+    }
+
+    /// Recompute the rates of every entry affected by inserts/removals
+    /// since the last call. With `incremental`, only the connected
+    /// component(s) of the sharing graph reached from the changed resources
+    /// are re-solved — unless the region exceeds `full_threshold` (a
+    /// fraction of the live entries, `0.0..=1.0`) or
+    /// [`MaxMinSolver::invalidate_all`] was called, which fall back to a
+    /// full pass. Rates are bit-identical to a from-scratch
+    /// [`MaxMinSolver::solve`] over the same flow multiset either way.
+    pub fn recompute(&mut self, incremental: bool, full_threshold: f64) {
+        self.ensure_incremental();
+        if self.pending_full || !incremental {
+            self.pending_full = false;
+            self.dirty_res.clear();
+            self.collect_all_live();
+            if !self.comp_entries.is_empty() {
+                self.full_recomputes += 1;
+                self.waterfill();
+            }
+            return;
+        }
+        if self.dirty_res.is_empty() {
+            return; // no change: every entry rate is still current
+        }
+        // BFS closure of the dirty resources over the sharing graph:
+        // resources -> entries crossing them -> those entries' resources.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.res_mark.iter_mut().for_each(|m| *m = 0);
+            self.ent_mark.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
+        self.comp_entries.clear();
+        self.comp_res.clear();
+        // Past this many entries the dirty region is no cheaper than a
+        // full pass — stop expanding the closure as soon as it is crossed
+        // instead of walking the rest of a (possibly giant) component.
+        let limit = (full_threshold * self.live_entries as f64) as usize;
+        let mut oversized = false;
+        {
+            let MaxMinSolver {
+                res_entries,
+                ent_path,
+                res_mark,
+                ent_mark,
+                dirty_res,
+                comp_entries,
+                comp_res,
+                ..
+            } = self;
+            for &r in dirty_res.iter() {
+                let ri = r as usize;
+                if res_mark[ri] != epoch {
+                    res_mark[ri] = epoch;
+                    comp_res.push(r);
+                }
+            }
+            dirty_res.clear();
+            let mut cur = 0;
+            while cur < comp_res.len() && !oversized {
+                let r = comp_res[cur] as usize;
+                cur += 1;
+                for &e in &res_entries[r] {
+                    let ei = e as usize;
+                    if ent_mark[ei] == epoch {
+                        continue;
+                    }
+                    ent_mark[ei] = epoch;
+                    comp_entries.push(e);
+                    if comp_entries.len() > limit {
+                        oversized = true;
+                        break;
+                    }
+                    for &r2 in ent_path[ei].as_ref().expect("live entry").iter() {
+                        let r2i = r2 as usize;
+                        if res_mark[r2i] != epoch {
+                            res_mark[r2i] = epoch;
+                            comp_res.push(r2);
+                        }
+                    }
+                }
+            }
+        }
+        if self.comp_entries.is_empty() {
+            return; // pure departures: nothing left in the dirty region
+        }
+        if oversized {
+            self.collect_all_live();
+            self.full_recomputes += 1;
+        }
+        self.waterfill();
+    }
+
+    /// Fill `comp_entries` with every live entry (full-pass work list).
+    fn collect_all_live(&mut self) {
+        self.comp_entries.clear();
+        for (e, p) in self.ent_path.iter().enumerate() {
+            if p.is_some() {
+                self.comp_entries.push(e as u32);
+            }
+        }
+    }
+
+    /// Water-fill the entries listed in `comp_entries`, writing their
+    /// rates. Mirrors [`MaxMinSolver::solve`] exactly, using the persistent
+    /// `res_entries` incidence instead of a per-call CSR; weighted entries
+    /// subtract their share once per unit of weight so the floating-point
+    /// trajectory matches that many separate flows bit-for-bit.
+    fn waterfill(&mut self) {
+        self.rate_recomputes += 1;
+        let ids = std::mem::take(&mut self.comp_entries);
+        // Reset scratch for previously touched resources (shared with
+        // `solve`, so the two APIs can interleave on one solver).
+        for &r in &self.touched {
+            self.count[r as usize] = 0;
+            self.version[r as usize] = 0;
+        }
+        self.touched.clear();
+        self.heap.clear();
+
+        // Pass 1: weighted flow counts per resource.
+        let mut total_weight = 0u64;
+        let mut frozen = 0u64;
+        for &e in &ids {
+            let ei = e as usize;
+            let w = self.ent_weight[ei];
+            total_weight += w as u64;
+            let path = self.ent_path[ei].clone().expect("live entry");
+            if path.is_empty() {
+                self.ent_rate[ei] = f64::INFINITY;
+                frozen += w as u64;
+                continue;
+            }
+            self.ent_rate[ei] = -1.0;
+            for &r in path.iter() {
+                let ri = r as usize;
+                if self.count[ri] == 0 {
+                    self.touched.push(r);
+                    self.remaining[ri] = self.capacity[ri];
+                }
+                self.count[ri] += w;
+            }
+        }
+
+        // Initial heap: every touched resource's fair share.
+        for &r in &self.touched {
+            let ri = r as usize;
+            self.heap.push(HeapEntry {
+                share: self.remaining[ri] / self.count[ri] as f64,
+                resource: r,
+                version: 0,
+            });
+        }
+
+        // Progressive filling over the component's entries. Resources in
+        // `touched` only host entries from `ids` (BFS closure), so the
+        // freeze loop never sees a stale outside rate.
+        while frozen < total_weight {
+            let entry = match self.heap.pop() {
+                Some(e) => e,
+                None => break, // numerically everything frozen
+            };
+            let r = entry.resource as usize;
+            if entry.version != self.version[r] || self.count[r] == 0 {
+                continue; // stale
+            }
+            let share = (self.remaining[r] / self.count[r] as f64).max(0.0);
+            self.iterations += 1;
+            for k in 0..self.res_entries[r].len() {
+                let e = self.res_entries[r][k];
+                let ei = e as usize;
+                if self.ent_rate[ei] >= 0.0 {
+                    continue; // already frozen by an earlier bottleneck
+                }
+                self.ent_rate[ei] = share;
+                let w = self.ent_weight[ei];
+                frozen += w as u64;
+                let path = self.ent_path[ei].clone().expect("live entry");
+                for &r2 in path.iter() {
+                    let r2i = r2 as usize;
+                    self.count[r2i] -= w;
+                    for _ in 0..w {
+                        self.remaining[r2i] -= share;
+                    }
+                    if r2i != r && self.count[r2i] > 0 {
+                        self.version[r2i] += 1;
+                        self.heap.push(HeapEntry {
+                            share: (self.remaining[r2i] / self.count[r2i] as f64).max(0.0),
+                            resource: r2,
+                            version: self.version[r2i],
+                        });
+                    }
+                }
+            }
+            debug_assert_eq!(self.count[r], 0, "bottleneck must fully drain");
+            self.version[r] += 1;
+        }
+        self.comp_entries = ids;
+    }
+
+    /// The rate of entry `id` as of the last recompute (bits/second). For
+    /// a coalesced entry this is the rate of *each* member flow.
+    #[inline]
+    pub fn entry_rate(&self, id: u32) -> f64 {
+        self.ent_rate[id as usize]
+    }
+
+    /// Number of flows currently represented by entry `id`.
+    pub fn entry_weight(&self, id: u32) -> u32 {
+        self.ent_weight[id as usize]
+    }
+
+    /// Number of live (distinct-path) entries.
+    pub fn live_entries(&self) -> usize {
+        self.live_entries
     }
 }
 

@@ -39,6 +39,15 @@ pub struct SimReport {
     /// before the workload completed.
     #[serde(default)]
     pub fault_events_applied: u64,
+    /// Water-filling passes the solver executed (full or component-local).
+    /// With the incremental solver this tracks `events` but each pass only
+    /// covers the dirty component; effort metric, not physics.
+    #[serde(default)]
+    pub rate_recomputes: u64,
+    /// Flows absorbed into an existing identical-path solver entry by
+    /// [`crate::SimConfig::coalesce_flows`]. Zero with coalescing off.
+    #[serde(default)]
+    pub flows_coalesced: u64,
 }
 
 impl SimReport {
@@ -124,6 +133,8 @@ mod tests {
             skipped_flows: 0,
             skipped_flow_ids: Vec::new(),
             fault_events_applied: 0,
+            rate_recomputes: 0,
+            flows_coalesced: 0,
         }
     }
 

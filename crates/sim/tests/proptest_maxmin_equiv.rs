@@ -1,0 +1,220 @@
+//! Property tests for the incremental entry API of [`MaxMinSolver`]: under
+//! arbitrary join/leave/reroute/invalidate sequences — with and without
+//! coalescing, and under real `FaultOverlay` path churn — the incremental
+//! rates match a from-scratch `MaxMinSolver::solve` over the same flow set.
+//!
+//! The design guarantee is stronger than the 1e-9 tolerance the engine
+//! needs: the incremental path is *bit-identical* to the full solve (see
+//! the `maxmin` module docs), and that is what these tests assert.
+
+use exaflow_netgraph::{LinkId, NodeId};
+use exaflow_sim::maxmin::MaxMinSolver;
+use exaflow_topo::{FaultOverlay, Topology, Torus};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const RESOURCES: usize = 24;
+
+/// Arbitrary loop-free paths over `RESOURCES` resources. Empty paths are
+/// legal (unconstrained flows).
+fn path_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..RESOURCES as u32, 0..6).prop_map(|mut p| {
+        p.sort_unstable();
+        p.dedup();
+        p
+    })
+}
+
+fn caps_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.5f64..500.0, RESOURCES)
+}
+
+/// Op stream: the `u8` selects join/leave/reroute/invalidate, the path
+/// feeds joins and reroutes, the `usize` picks the affected flow.
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, Vec<u32>, usize)>> {
+    prop::collection::vec((0u8..8, path_strategy(), 0usize..1 << 16), 1..50)
+}
+
+/// From-scratch reference: a fresh solver's `solve` over `paths`.
+fn reference_rates(caps: &[f64], paths: &[Vec<u32>]) -> Vec<f64> {
+    let mut solver = MaxMinSolver::new(caps.to_vec()).unwrap();
+    let mut rates = vec![0.0; paths.len()];
+    solver.solve(paths, &mut rates);
+    rates
+}
+
+/// Assert the incremental solver's per-flow rates are bit-identical to the
+/// reference (which trivially satisfies the 1e-9 requirement).
+fn assert_rates_match(solver: &MaxMinSolver, live: &[(u32, Vec<u32>)], caps: &[f64], step: usize) {
+    let paths: Vec<Vec<u32>> = live.iter().map(|(_, p)| p.clone()).collect();
+    let want = reference_rates(caps, &paths);
+    for (i, &(entry, ref path)) in live.iter().enumerate() {
+        let got = solver.entry_rate(entry);
+        assert!(
+            got.to_bits() == want[i].to_bits(),
+            "step {step}, flow {i} (path {path:?}): incremental {got:e} != full {:e}",
+            want[i]
+        );
+    }
+}
+
+fn run_op_sequence(
+    caps: Vec<f64>,
+    ops: Vec<(u8, Vec<u32>, usize)>,
+    coalesce: bool,
+    threshold: f64,
+) {
+    let mut solver = MaxMinSolver::new(caps.clone()).unwrap();
+    // Mirror of the live flows: (entry id, path). Coalesced flows share ids.
+    let mut live: Vec<(u32, Vec<u32>)> = Vec::new();
+    for (step, (kind, path, pick)) in ops.into_iter().enumerate() {
+        match kind {
+            0..=2 => {
+                let id = solver.insert_entry(Arc::from(path.clone()), coalesce);
+                live.push((id, path));
+            }
+            3 | 4 => {
+                if !live.is_empty() {
+                    let (id, _) = live.swap_remove(pick % live.len());
+                    solver.remove_entry(id);
+                }
+            }
+            5 | 6 => {
+                if !live.is_empty() {
+                    let i = pick % live.len();
+                    solver.remove_entry(live[i].0);
+                    let id = solver.insert_entry(Arc::from(path.clone()), coalesce);
+                    live[i] = (id, path);
+                }
+            }
+            _ => solver.invalidate_all(),
+        }
+        solver.recompute(true, threshold);
+        assert_rates_match(&solver, &live, &caps, step);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Join/leave/reroute/invalidate churn, uncoalesced entries.
+    #[test]
+    fn incremental_matches_full_solve(
+        caps in caps_strategy(),
+        ops in ops_strategy(),
+        threshold in 0.0f64..1.2,
+    ) {
+        run_op_sequence(caps, ops, false, threshold);
+    }
+
+    /// The same churn with identical-path coalescing: weighted entries must
+    /// still land on the exact rates of the separate-flow solve.
+    #[test]
+    fn coalesced_incremental_matches_full_solve(
+        caps in caps_strategy(),
+        ops in ops_strategy(),
+        threshold in 0.0f64..1.2,
+    ) {
+        run_op_sequence(caps, ops, true, threshold);
+    }
+
+    /// A degenerate threshold of 0 forces the full-fallback path on every
+    /// recompute; it must agree with the purely incremental path.
+    #[test]
+    fn zero_threshold_always_full(caps in caps_strategy(), ops in ops_strategy()) {
+        run_op_sequence(caps, ops, true, 0.0);
+    }
+}
+
+/// Engine-shaped churn through a real [`FaultOverlay`]: flows between
+/// endpoint pairs of a 4x4 torus, links failing and recovering mid-stream,
+/// affected entries rerouted (or dropped when partitioned) and the solver
+/// invalidated — exactly the `run_with_faults` contract.
+#[test]
+fn overlay_path_churn_matches_full_solve() {
+    let topo = Torus::new(&[4, 4]);
+    let num_links = topo.network().num_links();
+    let num_eps = topo.num_endpoints();
+    let caps = vec![10e9; num_links + 2 * num_eps];
+    let build = |overlay: &mut FaultOverlay, src: u32, dst: u32| -> Option<Vec<u32>> {
+        let mut links: Vec<LinkId> = Vec::new();
+        overlay
+            .try_route(NodeId(src), NodeId(dst), &mut links)
+            .ok()?;
+        let mut p = vec![(num_links + src as usize) as u32];
+        p.extend(links.iter().map(|l| l.0));
+        p.push((num_links + num_eps + dst as usize) as u32);
+        Some(p)
+    };
+
+    for coalesce in [false, true] {
+        let mut overlay = FaultOverlay::new(&topo);
+        let mut solver = MaxMinSolver::new(caps.clone()).unwrap();
+        let mut live: Vec<(u32, u32, u32, Vec<u32>)> = Vec::new(); // (entry, src, dst, path)
+        let mut x = 0x2545F49_u64; // deterministic xorshift stream
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for step in 0..400 {
+            match rng() % 5 {
+                0 | 1 => {
+                    // Join a random pair (duplicates welcome: they coalesce).
+                    let (src, dst) = (rng() as u32 % 16, rng() as u32 % 16);
+                    if src != dst {
+                        if let Some(p) = build(&mut overlay, src, dst) {
+                            let id = solver.insert_entry(Arc::from(p.clone()), coalesce);
+                            live.push((id, src, dst, p));
+                        }
+                    }
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let i = rng() as usize % live.len();
+                        let (id, ..) = live.swap_remove(i);
+                        solver.remove_entry(id);
+                    }
+                }
+                3 => {
+                    // Fail a link; reroute every flow crossing it.
+                    let l = rng() as u32 % num_links as u32;
+                    if overlay.fail_link(LinkId(l)) {
+                        solver.invalidate_all();
+                        let mut i = 0;
+                        while i < live.len() {
+                            if !live[i].3.contains(&l) {
+                                i += 1;
+                                continue;
+                            }
+                            let (id, src, dst, _) = live[i].clone();
+                            solver.remove_entry(id);
+                            match build(&mut overlay, src, dst) {
+                                Some(p) => {
+                                    let nid = solver.insert_entry(Arc::from(p.clone()), coalesce);
+                                    live[i] = (nid, src, dst, p);
+                                    i += 1;
+                                }
+                                None => {
+                                    live.swap_remove(i); // partitioned: drop
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let l = rng() as u32 % num_links as u32;
+                    if overlay.restore_link(LinkId(l)) {
+                        solver.invalidate_all();
+                    }
+                }
+            }
+            solver.recompute(true, 0.5);
+            let flows: Vec<(u32, Vec<u32>)> =
+                live.iter().map(|(id, _, _, p)| (*id, p.clone())).collect();
+            assert_rates_match(&solver, &flows, &caps, step);
+        }
+        assert!(solver.rate_recomputes > 0);
+    }
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Rate-engine perf snapshot: records the incremental-solver speedup and
+# end-to-end engine walltimes (fast paths on vs off, equivalence-checked)
+# to a JSON file for the perf trajectory.
+# Usage: scripts/bench_engine.sh [output.json]   (default BENCH_engine.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_engine.json}"
+cargo run --release -q -p exaflow-bench --bin engine_snapshot -- "$out"

@@ -1,0 +1,225 @@
+//! Engine-mode equivalence: with the incremental solver and flow
+//! coalescing on (in any combination), every `SimReport` must be
+//! **bit-identical** — after zeroing the solver-effort counters, which
+//! legitimately differ — to the plain full-solve-per-event engine. Covered
+//! across the paper's topology families (torus, fattree, standalone GHC,
+//! NestGHC, NestTree), fault-free and with a mid-run link cut + repair
+//! under all four recovery policies.
+
+use exaflow::prelude::*;
+use exaflow::sim::FaultSchedule;
+use exaflow::topo::UpperTierKind;
+use exaflow_netgraph::NodeId;
+
+/// The three accelerated mode combinations, each compared against the
+/// `(false, false)` reference engine.
+const MODES: [(bool, bool); 3] = [(true, true), (true, false), (false, true)];
+
+fn specs() -> Vec<(&'static str, TopologySpec)> {
+    vec![
+        (
+            "torus",
+            TopologySpec::Torus {
+                dims: vec![4, 4, 2],
+            },
+        ),
+        (
+            "fattree",
+            TopologySpec::Fattree {
+                k: 4,
+                n: 2,
+                endpoints: None,
+            },
+        ),
+        (
+            "ghc",
+            TopologySpec::Ghc {
+                dims: vec![4, 4],
+                ports_per_router: 2,
+                endpoints: None,
+            },
+        ),
+        (
+            "nest-ghc",
+            TopologySpec::Nested {
+                upper: UpperTierKind::GeneralizedHypercube,
+                subtori: 4,
+                t: 2,
+                u: 4,
+            },
+        ),
+        (
+            "nest-tree",
+            TopologySpec::Nested {
+                upper: UpperTierKind::Fattree,
+                subtori: 4,
+                t: 2,
+                u: 4,
+            },
+        ),
+    ]
+}
+
+fn cfg(incremental: bool, coalesce: bool) -> SimConfig {
+    SimConfig {
+        solver_incremental: incremental,
+        coalesce_flows: coalesce,
+        record_flow_times: true,
+        collect_link_stats: true,
+        // Non-zero head latencies route admissions through the
+        // delayed-activation heap — the other entry path into the solver.
+        per_hop_latency_s: 50e-9,
+        startup_latency_s: 1e-6,
+        ..SimConfig::default()
+    }
+}
+
+/// Serialize a report with the solver-effort counters zeroed. Iterations,
+/// recompute and coalescing counts measure *work done*, not physics, and
+/// are the only fields allowed to differ between engine modes.
+fn canonical(report: &SimReport) -> String {
+    let mut r = report.clone();
+    r.maxmin_iterations = 0;
+    r.rate_recomputes = 0;
+    r.flows_coalesced = 0;
+    serde_json::to_string(&r).unwrap()
+}
+
+fn workload_for(eps: usize) -> FlowDag {
+    let spec = WorkloadSpec::AllReduce {
+        tasks: eps,
+        bytes: 1 << 18,
+    };
+    spec.generate(&TaskMapping::linear(eps, eps))
+}
+
+#[test]
+fn fault_free_reports_bit_identical_across_modes() {
+    for (name, spec) in specs() {
+        let topo = spec.build().unwrap();
+        let dag = workload_for(topo.num_endpoints());
+        let reference = Simulator::with_config(topo.as_ref(), cfg(false, false))
+            .run(&dag)
+            .unwrap();
+        assert!(reference.events > 0, "{name}: degenerate workload");
+        for (inc, coal) in MODES {
+            let report = Simulator::with_config(topo.as_ref(), cfg(inc, coal))
+                .run(&dag)
+                .unwrap();
+            assert_eq!(
+                canonical(&report),
+                canonical(&reference),
+                "{name}: incremental={inc} coalesce={coal} diverged from the reference engine"
+            );
+        }
+    }
+}
+
+/// Coalescing only merges flows whose entire resource path (including the
+/// NIC injection/ejection ports) is identical — i.e. concurrent flows
+/// between the same endpoint pair. The merged run must still be
+/// bit-identical to solving them separately.
+#[test]
+fn coalescing_merges_identical_paths_bit_identically() {
+    let topo = Torus::new(&[4, 4]);
+    let mut b = FlowDagBuilder::new();
+    for _ in 0..4 {
+        b.add_flow(NodeId(0), NodeId(5), 1 << 20, &[]);
+    }
+    b.add_flow(NodeId(2), NodeId(7), 1 << 20, &[]);
+    let dag = b.build();
+    let reference = Simulator::with_config(&topo, cfg(false, false))
+        .run(&dag)
+        .unwrap();
+    let report = Simulator::with_config(&topo, cfg(true, true))
+        .run(&dag)
+        .unwrap();
+    assert_eq!(canonical(&report), canonical(&reference));
+    assert_eq!(
+        report.flows_coalesced, 3,
+        "four identical-pair flows should fold into one weighted entry"
+    );
+    assert_eq!(reference.flows_coalesced, 0);
+}
+
+/// A duplex cut of a physical link actually crossed by traffic, mid-run,
+/// repaired before the end: exercises reroute churn, the solver
+/// invalidation path, and coalesced-group teardown.
+fn schedule_for(topo: &dyn Topology, reference: &SimReport) -> FaultSchedule {
+    let eps = topo.num_endpoints() as u32;
+    let route = topo.route_vec(NodeId(0), NodeId(eps / 2));
+    let net = topo.network();
+    let eps_nodes = topo.num_endpoints() as u32;
+    // Prefer a switch-to-switch hop: cutting an endpoint's only uplink
+    // (single-homed fattree/GHC NICs) would partition it outright. Torus
+    // nodes are their own routers, so any hop there is survivable.
+    let physical: Vec<LinkId> = route
+        .iter()
+        .copied()
+        .filter(|&l| !net.link(l).is_virtual)
+        .collect();
+    let link = physical
+        .iter()
+        .copied()
+        .find(|&l| net.link(l).src.0 >= eps_nodes && net.link(l).dst.0 >= eps_nodes)
+        .or_else(|| physical.first().copied())
+        .expect("route with no physical link");
+    let peer = net.find_physical_link(net.link(link).dst, net.link(link).src);
+    let t_cut = reference.makespan_seconds * 0.4;
+    let t_fix = reference.makespan_seconds * 0.7;
+    let mut events = Vec::new();
+    for l in [Some(link), peer].into_iter().flatten() {
+        events.push(FaultEvent {
+            time_s: t_cut,
+            link: l.0,
+            action: FaultAction::Down,
+        });
+        events.push(FaultEvent {
+            time_s: t_fix,
+            link: l.0,
+            action: FaultAction::Up,
+        });
+    }
+    FaultSchedule::new(events).unwrap()
+}
+
+#[test]
+fn faulted_reports_bit_identical_across_modes_and_policies() {
+    for (name, spec) in specs() {
+        let topo = spec.build().unwrap();
+        let dag = workload_for(topo.num_endpoints());
+        let reference_engine = Simulator::with_config(topo.as_ref(), cfg(false, false));
+        let schedule = schedule_for(topo.as_ref(), &reference_engine.run(&dag).unwrap());
+
+        for policy in RecoveryPolicy::ALL {
+            let reference = reference_engine.run_with_faults(&dag, &schedule, policy);
+            if policy == RecoveryPolicy::RerouteResume {
+                let r = reference.as_ref().expect("resume must survive a repair");
+                assert!(
+                    r.fault_events_applied > 0,
+                    "{name}: the crafted schedule never fired"
+                );
+            }
+            for (inc, coal) in MODES {
+                let report = Simulator::with_config(topo.as_ref(), cfg(inc, coal))
+                    .run_with_faults(&dag, &schedule, policy);
+                match (&report, &reference) {
+                    (Ok(got), Ok(want)) => assert_eq!(
+                        canonical(got),
+                        canonical(want),
+                        "{name}/{policy:?}: incremental={inc} coalesce={coal} diverged"
+                    ),
+                    (Err(got), Err(want)) => assert_eq!(
+                        format!("{got:?}"),
+                        format!("{want:?}"),
+                        "{name}/{policy:?}: error paths diverged"
+                    ),
+                    _ => panic!(
+                        "{name}/{policy:?}: incremental={inc} coalesce={coal} \
+                         changed success/failure: {report:?} vs {reference:?}"
+                    ),
+                }
+            }
+        }
+    }
+}

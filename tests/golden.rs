@@ -1,0 +1,149 @@
+//! Golden regression suite: the checked-in paper artefacts
+//! (`table1_results.json`, `fig4_results.json`, `fig5_results.json`) are
+//! pinned against freshly computed values, so performance work on the
+//! engine cannot silently shift the reproduced numbers.
+//!
+//! Full regeneration of every figure takes minutes; each test therefore
+//! recomputes a representative, deterministic slice at the exact
+//! parameters the generator bins used and compares it tolerance-aware
+//! (relative 1e-9 — the pipeline is deterministic, the slack only covers
+//! printing round-trips) with a readable diff on mismatch.
+
+use exaflow::prelude::*;
+use exaflow_bench::figure_panel;
+use serde_json::Value;
+use std::path::Path;
+
+const REL_TOL: f64 = 1e-9;
+
+fn load(name: &str) -> Value {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden file {} unreadable: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("golden file {name} is not JSON: {e}"))
+}
+
+fn numbers_match(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= REL_TOL * a.abs().max(b.abs())
+}
+
+/// Recursively diff `got` against `want`, collecting human-readable
+/// mismatch lines (`path: got X, pinned Y`).
+fn diff(got: &Value, want: &Value, path: &str, out: &mut Vec<String>) {
+    match (got, want) {
+        (Value::Number(g), Value::Number(w)) => {
+            let (g, w) = (g.as_f64(), w.as_f64());
+            if !numbers_match(g, w) {
+                out.push(format!("{path}: got {g:.17e}, pinned {w:.17e}"));
+            }
+        }
+        (Value::Array(g), Value::Array(w)) => {
+            if g.len() != w.len() {
+                out.push(format!("{path}: length {} vs pinned {}", g.len(), w.len()));
+                return;
+            }
+            for (i, (gi, wi)) in g.iter().zip(w).enumerate() {
+                diff(gi, wi, &format!("{path}[{i}]"), out);
+            }
+        }
+        (Value::Object(g), Value::Object(w)) => {
+            for (key, gv) in g.iter() {
+                match w.get(key) {
+                    Some(wv) => diff(gv, wv, &format!("{path}.{key}"), out),
+                    None => out.push(format!("{path}.{key}: not in pinned file")),
+                }
+            }
+            for (key, _) in w.iter() {
+                if g.get(key).is_none() {
+                    out.push(format!("{path}.{key}: missing from recomputation"));
+                }
+            }
+        }
+        _ if got == want => {}
+        _ => out.push(format!("{path}: got {got:?}, pinned {want:?}")),
+    }
+}
+
+fn assert_matches_pinned(got: Value, want: &Value, what: &str) {
+    let mut mismatches = Vec::new();
+    diff(&got, want, what, &mut mismatches);
+    assert!(
+        mismatches.is_empty(),
+        "{what} drifted from its golden file ({} mismatch(es)):\n  {}",
+        mismatches.len(),
+        mismatches.join("\n  ")
+    );
+}
+
+fn threads() -> Option<usize> {
+    std::thread::available_parallelism().ok().map(|n| n.get())
+}
+
+/// Table 1, row (t=2, u=8) at the paper's full 131 072-QFDB scale: the
+/// exact parameters of `crates/bench/src/bin/table1.rs` (96 sampled
+/// sources, seed 0xE1F, corner witnesses).
+#[test]
+fn table1_row_2_8_matches_pinned() {
+    let pinned = load("table1_results.json");
+    let row = pinned
+        .as_array()
+        .expect("table1_results.json: array of rows")
+        .iter()
+        .find(|r| r["t"] == 2 && r["u"] == 8)
+        .expect("table1_results.json: row (2,8)")
+        .clone();
+
+    let scale = SystemScale::PAPER;
+    let mut got = serde_json::Map::new();
+    got.insert("t", serde_json::to_value(&2u32).unwrap());
+    got.insert("u", serde_json::to_value(&8u32).unwrap());
+    for (kind, avg_key, diam_key) in [
+        (UpperTierKind::GeneralizedHypercube, "avg_ghc", "diam_ghc"),
+        (UpperTierKind::Fattree, "avg_tree", "diam_tree"),
+    ] {
+        let topo = scale.nested_spec(kind, 2, 8).unwrap().build().unwrap();
+        let last = NodeId(topo.num_endpoints() as u32 - 1);
+        let stats = distance_survey(topo.as_ref(), 96, 0xE1F, &[NodeId(0), last]);
+        got.insert(avg_key, serde_json::to_value(&stats.average).unwrap());
+        got.insert(diam_key, serde_json::to_value(&stats.diameter).unwrap());
+    }
+    assert_matches_pinned(Value::Object(got), &row, "table1 row (2,8)");
+}
+
+/// Figure 4, AllReduce panel at the default 2048-QFDB simulation scale —
+/// the heavy workload most sensitive to the rate engine (11 recursive-
+/// doubling rounds across every topology family).
+#[test]
+fn fig4_allreduce_panel_matches_pinned() {
+    let pinned = load("fig4_results.json");
+    let scale = SystemScale::DEFAULT_SIM;
+    let workload = WorkloadSpec::AllReduce {
+        tasks: scale.qfdbs as usize,
+        bytes: presets::MIB,
+    };
+    let panel = figure_panel(scale, &workload, threads()).unwrap();
+    assert_matches_pinned(
+        serde_json::to_value(&panel).unwrap(),
+        &pinned["AllReduce"],
+        "fig4 AllReduce panel",
+    );
+}
+
+/// Figure 5, Reduce panel at the default 2048-QFDB simulation scale — the
+/// ejection-serialised workload whose topology-insensitivity is a headline
+/// claim of the paper.
+#[test]
+fn fig5_reduce_panel_matches_pinned() {
+    let pinned = load("fig5_results.json");
+    let scale = SystemScale::DEFAULT_SIM;
+    let workload = WorkloadSpec::Reduce {
+        tasks: scale.qfdbs as usize,
+        bytes: 64 << 10,
+    };
+    let panel = figure_panel(scale, &workload, threads()).unwrap();
+    assert_matches_pinned(
+        serde_json::to_value(&panel).unwrap(),
+        &pinned["Reduce"],
+        "fig5 Reduce panel",
+    );
+}
