@@ -3,10 +3,18 @@
 //! ```text
 //! exaflow run <config.json>      run an experiment from a JSON config
 //! exaflow run -                  read the config from stdin
+//! exaflow run c.json --trace t.jsonl
+//!                                also stream every engine state transition
+//!                                to t.jsonl as JSON Lines (one event per
+//!                                line; see exaflow_sim::trace) and attach
+//!                                engine metrics to the printed result
 //! exaflow sweep <suite.json>     run a whole suite (JSON array of configs)
 //!                                in parallel; --threads N picks the pool
-//!                                size (1 = serial); exits 3 when any
-//!                                entry ended in a typed error
+//!                                size (1 = serial); --metrics enables
+//!                                tracing on every entry and aggregates
+//!                                engine counters into the suite report;
+//!                                exits 3 when any entry ended in a typed
+//!                                error
 //! exaflow resilience <spec.json> run a Monte-Carlo resilience campaign
 //!                                (fault rates x recovery policies x
 //!                                replicas) and print per-cell degradation
@@ -57,7 +65,7 @@ const SAMPLES: &[(&str, &str)] = &[
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("run") => cmd_run(args.get(1).map(String::as_str)),
+        Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("resilience") => cmd_resilience(&args[1..]),
         Some("topo") => cmd_topo(args.get(1).map(String::as_str)),
@@ -77,10 +85,15 @@ fn main() {
 
 fn print_help() {
     eprintln!("usage:");
-    eprintln!("  exaflow run <config.json | ->   run an experiment, print the result as JSON");
-    eprintln!("  exaflow sweep <suite.json | -> [--threads <n>]");
+    eprintln!("  exaflow run <config.json | -> [--trace <file.jsonl>]");
+    eprintln!("                                  run an experiment, print the result as JSON;");
+    eprintln!("                                  --trace streams engine events to a JSONL file");
+    eprintln!("                                  and attaches engine metrics to the result");
+    eprintln!("  exaflow sweep <suite.json | -> [--threads <n>] [--metrics]");
     eprintln!("                                  run a JSON array of configs in parallel,");
     eprintln!("                                  print per-config results + suite metrics;");
+    eprintln!("                                  --metrics traces every entry and aggregates");
+    eprintln!("                                  engine counters into the suite report;");
     eprintln!("                                  exit 3 if any entry ended in a typed error");
     eprintln!("  exaflow resilience <spec.json | -> [--threads <n>]");
     eprintln!("                                  run a Monte-Carlo fault-injection campaign,");
@@ -116,7 +129,26 @@ struct ErrorOutput {
     error: ExperimentError,
 }
 
-fn cmd_run(path: Option<&str>) -> i32 {
+fn cmd_run(args: &[String]) -> i32 {
+    let mut path: Option<&str> = None;
+    let mut trace_path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("error: --trace needs a file path");
+                    return 1;
+                }
+            },
+            other if path.is_none() => path = Some(other),
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                return 1;
+            }
+        }
+    }
     let cfg = match read_config(path) {
         Ok(c) => c,
         Err(e) => {
@@ -124,7 +156,26 @@ fn cmd_run(path: Option<&str>) -> i32 {
             return 1;
         }
     };
-    match run_experiment(&cfg) {
+    let outcome = match trace_path {
+        Some(tp) => {
+            let file = match std::fs::File::create(tp) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: create {tp}: {e}");
+                    return 1;
+                }
+            };
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+            let outcome = run_experiment_traced(&cfg, Some(&mut sink));
+            if let Err(e) = sink.finish() {
+                eprintln!("error: write trace {tp}: {e}");
+                return 1;
+            }
+            outcome
+        }
+        None => run_experiment(&cfg),
+    };
+    match outcome {
         Ok(result) => {
             println!("{}", serde_json::to_string_pretty(&result).unwrap());
             0
@@ -169,7 +220,9 @@ fn parse_path_threads(args: &[String]) -> Result<(Option<&str>, Option<usize>), 
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {
-    let (path, threads) = match parse_path_threads(args) {
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let rest: Vec<String> = args.iter().filter(|a| *a != "--metrics").cloned().collect();
+    let (path, threads) = match parse_path_threads(&rest) {
         Ok(pt) => pt,
         Err(e) => {
             eprintln!("error: {e}");
@@ -178,13 +231,18 @@ fn cmd_sweep(args: &[String]) -> i32 {
     };
     let parsed: Result<Vec<ExperimentConfig>, String> = read_body(path)
         .and_then(|body| serde_json::from_str(&body).map_err(|e| format!("parse suite: {e}")));
-    let configs = match parsed {
+    let mut configs = match parsed {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
         }
     };
+    if metrics {
+        for cfg in &mut configs {
+            cfg.sim.trace = true;
+        }
+    }
     let mut suite = ExperimentSuite::new(configs);
     if let Some(n) = threads {
         suite = suite.threads(n);

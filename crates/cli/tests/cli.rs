@@ -63,6 +63,96 @@ fn run_from_stdin_outputs_json_result() {
 }
 
 #[test]
+fn run_with_trace_writes_oracle_clean_jsonl_and_metrics() {
+    use std::io::Write;
+    let trace_path =
+        std::env::temp_dir().join(format!("exaflow-trace-{}.jsonl", std::process::id()));
+    let mut child = exaflow()
+        .args(["run", "-", "--trace", trace_path.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            br#"{"topology": {"topology": "torus", "dims": [4, 4]},
+                "workload": {"workload": "all_reduce", "tasks": 16, "bytes": 65536}}"#,
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The result gains the kind-tagged metrics block when tracing is on.
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON result");
+    assert_eq!(body["metrics"]["kind"], "sim_metrics");
+    assert!(body["metrics"]["rate_recomputes"].as_u64().unwrap() > 0);
+    assert_eq!(
+        body["metrics"]["flows_finished"].as_u64(),
+        body["flows"].as_u64()
+    );
+
+    // The trace file is valid JSONL and satisfies the replay oracle.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    std::fs::remove_file(&trace_path).ok();
+    let events = exaflow::sim::parse_jsonl(&text).expect("trace parses as JSONL");
+    let summary = exaflow::sim::check_trace(&events).expect("trace passes the oracle");
+    assert_eq!(summary.flows_finished, body["flows"].as_u64().unwrap());
+    assert_eq!(summary.flows_skipped, 0);
+}
+
+#[test]
+fn run_without_trace_emits_no_metrics_key() {
+    use std::io::Write;
+    let mut child = exaflow()
+        .args(["run", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(
+            br#"{"topology": {"topology": "torus", "dims": [4, 4]},
+                "workload": {"workload": "reduce", "tasks": 8, "bytes": 1024}}"#,
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    // Tracing off must leave the result document byte-compatible with
+    // pre-tracing output: not even a `"metrics": null` placeholder.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("metrics"), "stdout: {text}");
+}
+
+#[test]
+fn run_rejects_unknown_flag() {
+    use std::io::Write;
+    let mut child = exaflow()
+        .args(["run", "-", "--frobnicate"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(b"{}").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("frobnicate"), "stderr: {err}");
+}
+
+#[test]
 fn run_rejects_bad_config() {
     use std::io::Write;
     let mut child = exaflow()
@@ -231,6 +321,46 @@ fn sweep_runs_suite_from_file() {
 
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("2/3 experiments succeeded"), "stderr: {err}");
+}
+
+#[test]
+fn sweep_with_metrics_aggregates_into_suite_report() {
+    let path = std::env::temp_dir().join(format!("exaflow-sweepm-{}.json", std::process::id()));
+    std::fs::write(&path, SWEEP_SUITE).unwrap();
+    let out = exaflow()
+        .args([
+            "sweep",
+            path.to_str().unwrap(),
+            "--metrics",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(3)); // the oversubscribed entry still errors
+    let sweep: Sweep = serde_json::from_slice(&out.stdout).expect("valid sweep JSON");
+    // Each successful experiment carries its own metrics snapshot...
+    for res in sweep.results.iter().flatten() {
+        let m = res.metrics.as_ref().expect("per-experiment metrics");
+        assert_eq!(m.flows_finished, res.flows);
+    }
+    // ...and the suite report rolls them up.
+    let rollup = sweep.report.metrics.expect("suite metrics rollup");
+    assert_eq!(rollup.experiments_with_metrics, 2);
+    let total: u64 = sweep.results.iter().flatten().map(|r| r.flows).sum();
+    assert_eq!(rollup.flows_finished, total);
+    assert!(rollup.rate_recomputes > 0);
+    assert!(rollup.peak_resource_utilization > 0.99);
+
+    // Without --metrics the same suite emits no metrics at all.
+    std::fs::write(&path, SWEEP_SUITE).unwrap();
+    let out = exaflow()
+        .args(["sweep", path.to_str().unwrap(), "--threads", "2"])
+        .output()
+        .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("metrics"));
 }
 
 #[test]

@@ -2,7 +2,10 @@
 
 use crate::error::ExperimentError;
 use crate::topospec::TopologySpec;
-use exaflow_sim::{FaultScheduleSpec, RecoveryPolicy, SimConfig, SimReport, Simulator};
+use exaflow_sim::{
+    FaultSchedule, FaultScheduleSpec, MetricsSnapshot, RecoveryPolicy, SimConfig, SimReport,
+    Simulator, TraceSink,
+};
 use exaflow_topo::{Degraded, Topology};
 use exaflow_workloads::{TaskMapping, WorkloadSpec};
 use serde::{Deserialize, Serialize};
@@ -123,6 +126,11 @@ pub struct ExperimentResult {
     /// `coalesce_flows` off; absent in pre-incremental result files).
     #[serde(default)]
     pub flows_coalesced: u64,
+    /// Engine counters and histograms, present only when the experiment ran
+    /// with tracing ([`SimConfig::trace`] or [`run_experiment_traced`]);
+    /// untraced result files are byte-identical to pre-tracing ones.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Build the topology, generate the workload, simulate, report.
@@ -133,6 +141,17 @@ pub struct ExperimentResult {
 /// [`ExperimentError`], so bulk drivers can report *which* grid point
 /// failed and *why* without string matching.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, ExperimentError> {
+    run_experiment_traced(cfg, None)
+}
+
+/// [`run_experiment`] streaming engine trace events into `sink` (when
+/// given). A sink implies tracing, so the result carries
+/// [`ExperimentResult::metrics`]; `cfg.sim.trace` alone collects metrics
+/// without an event stream.
+pub fn run_experiment_traced(
+    cfg: &ExperimentConfig,
+    sink: Option<&mut dyn TraceSink>,
+) -> Result<ExperimentResult, ExperimentError> {
     // Reject a malformed engine config before paying for topology
     // construction; the engine re-checks at `run` as a second line.
     cfg.sim.validate().map_err(ExperimentError::from)?;
@@ -176,12 +195,15 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Experi
     let dag = cfg.workload.generate(&mapping);
     let started = std::time::Instant::now();
     let simulator = Simulator::with_config(&topo, cfg.sim.clone());
-    let report: SimReport = match &cfg.fault_injection {
-        Some(fi) => {
-            let schedule = fi.schedule.build(topo.network())?;
-            simulator.run_with_faults(&dag, &schedule, fi.policy)?
-        }
-        None => simulator.run(&dag)?,
+    // Normalise the two optional dimensions (fault schedule, trace sink)
+    // into one dispatch so every combination reaches the same engine path.
+    let (schedule, policy) = match &cfg.fault_injection {
+        Some(fi) => (fi.schedule.build(topo.network())?, fi.policy),
+        None => (FaultSchedule::empty(), RecoveryPolicy::default()),
+    };
+    let report: SimReport = match sink {
+        Some(sink) => simulator.run_with_faults_traced(&dag, &schedule, policy, sink)?,
+        None => simulator.run_with_faults(&dag, &schedule, policy)?,
     };
     Ok(ExperimentResult {
         topology: topo.name(),
@@ -197,6 +219,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, Experi
         fault_events_applied: report.fault_events_applied,
         rate_recomputes: report.rate_recomputes,
         flows_coalesced: report.flows_coalesced,
+        metrics: report.metrics,
     })
 }
 

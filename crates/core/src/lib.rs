@@ -55,15 +55,15 @@ pub mod topospec;
 
 pub use error::ExperimentError;
 pub use experiment::{
-    run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, FaultInjectionSpec,
-    MappingSpec,
+    run_experiment, run_experiment_traced, ExperimentConfig, ExperimentResult, FailureSpec,
+    FaultInjectionSpec, MappingSpec,
 };
 pub use normalize::{normalize_to, NormalizedRow};
 pub use resilience::{
     run_resilience_campaign, CellReport, ResilienceCampaignReport, ResilienceCampaignSpec,
 };
 pub use scale::SystemScale;
-pub use suite::{scoped_map, ExperimentSuite, SuiteReport, SuiteRun};
+pub use suite::{scoped_map, ExperimentSuite, SuiteMetrics, SuiteReport, SuiteRun};
 pub use topospec::TopologySpec;
 
 // Re-export the subsystem crates under their natural names.
@@ -78,23 +78,25 @@ pub use exaflow_workloads as workloads;
 pub mod prelude {
     pub use crate::error::ExperimentError;
     pub use crate::experiment::{
-        run_experiment, ExperimentConfig, ExperimentResult, FailureSpec, FaultInjectionSpec,
-        MappingSpec,
+        run_experiment, run_experiment_traced, ExperimentConfig, ExperimentResult, FailureSpec,
+        FaultInjectionSpec, MappingSpec,
     };
     pub use crate::presets;
     pub use crate::resilience::{
         run_resilience_campaign, CellReport, ResilienceCampaignReport, ResilienceCampaignSpec,
     };
     pub use crate::scale::SystemScale;
-    pub use crate::suite::{scoped_map, ExperimentSuite, SuiteReport, SuiteRun};
+    pub use crate::suite::{scoped_map, ExperimentSuite, SuiteMetrics, SuiteReport, SuiteRun};
     pub use crate::topospec::TopologySpec;
     pub use exaflow_analysis::{
         channel_load_survey, distance_stats_exact, distance_survey, DistanceStats, LoadStats,
     };
     pub use exaflow_netgraph::{LinkId, Network, NodeId};
     pub use exaflow_sim::{
-        FaultAction, FaultEvent, FaultSchedule, FaultScheduleSpec, FlowDag, FlowDagBuilder,
-        RecoveryPolicy, SimConfig, SimError, SimReport, Simulator,
+        check_trace, check_trace_with_topology, parse_jsonl, FaultAction, FaultEvent,
+        FaultSchedule, FaultScheduleSpec, FlowDag, FlowDagBuilder, JsonlSink, MetricsRegistry,
+        MetricsSnapshot, RecoveryPolicy, SimConfig, SimError, SimReport, Simulator, TraceEvent,
+        TraceSink, TraceSummary, TraceViolation, VecSink,
     };
     pub use exaflow_system::{CostModel, SystemHierarchy};
     pub use exaflow_topo::{

@@ -62,6 +62,7 @@ mod tests {
             fault_events_applied: 0,
             rate_recomputes: 0,
             flows_coalesced: 0,
+            metrics: None,
         }
     }
 

@@ -87,6 +87,58 @@ pub struct SuiteReport {
     /// Per-experiment wall seconds, in submission order (0 for failures
     /// that never reached the simulator).
     pub per_experiment_wall_seconds: Vec<f64>,
+    /// Aggregated engine metrics, present only when at least one
+    /// experiment ran with tracing enabled (`sim.trace`); suites of
+    /// untraced experiments serialize byte-identically to pre-tracing
+    /// report files.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<SuiteMetrics>,
+}
+
+/// Engine metrics summed over every traced experiment in a suite.
+///
+/// Counters mirror [`exaflow_sim::MetricsSnapshot`]; histograms are left
+/// per-experiment (in [`crate::ExperimentResult::metrics`]) since their
+/// merge rarely answers suite-level questions.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SuiteMetrics {
+    /// Experiments that carried a metrics snapshot.
+    pub experiments_with_metrics: u64,
+    pub flows_activated: u64,
+    pub flows_started: u64,
+    pub flows_finished: u64,
+    pub flows_skipped: u64,
+    pub faults_applied: u64,
+    pub faults_cleared: u64,
+    pub reroutes: u64,
+    pub rate_recomputes: u64,
+    /// Recomputations that degraded to a full solver pass.
+    pub full_passes: u64,
+    /// Total solver wall-clock seconds across all traced experiments.
+    /// **Non-deterministic.**
+    pub solver_seconds_total: f64,
+    /// Largest single-resource utilisation observed anywhere in the suite.
+    pub peak_resource_utilization: f64,
+}
+
+impl SuiteMetrics {
+    /// Fold one experiment's snapshot into the aggregate.
+    fn absorb(&mut self, m: &exaflow_sim::MetricsSnapshot) {
+        self.experiments_with_metrics += 1;
+        self.flows_activated += m.flows_activated;
+        self.flows_started += m.flows_started;
+        self.flows_finished += m.flows_finished;
+        self.flows_skipped += m.flows_skipped;
+        self.faults_applied += m.faults_applied;
+        self.faults_cleared += m.faults_cleared;
+        self.reroutes += m.reroutes;
+        self.rate_recomputes += m.rate_recomputes;
+        self.full_passes += m.full_passes;
+        self.solver_seconds_total += m.solver_seconds_total;
+        self.peak_resource_utilization = self
+            .peak_resource_utilization
+            .max(m.peak_resource_utilization);
+    }
 }
 
 impl SuiteReport {
@@ -147,6 +199,7 @@ impl ExperimentSuite {
         let mut per_wall = Vec::with_capacity(outcomes.len());
         let (mut flows, mut events, mut iters) = (0u64, 0u64, 0u64);
         let mut experiment_wall = 0.0;
+        let mut metrics: Option<SuiteMetrics> = None;
         for outcome in outcomes {
             // Flatten panic (outer) and config (inner) failures into one
             // typed error channel: callers see `Err` either way, with a
@@ -167,6 +220,9 @@ impl ExperimentSuite {
                 iters += res.maxmin_iterations;
                 experiment_wall += res.wall_seconds;
                 per_wall.push(res.wall_seconds);
+                if let Some(m) = &res.metrics {
+                    metrics.get_or_insert_with(SuiteMetrics::default).absorb(m);
+                }
             } else {
                 per_wall.push(0.0);
             }
@@ -190,6 +246,7 @@ impl ExperimentSuite {
                 0.0
             },
             per_experiment_wall_seconds: per_wall,
+            metrics,
         };
         SuiteRun { results, report }
     }

@@ -6,12 +6,14 @@ use crate::error::SimError;
 use crate::fault::{FaultAction, FaultSchedule, RecoveryPolicy};
 use crate::maxmin::MaxMinSolver;
 use crate::report::SimReport;
+use crate::trace::{MetricsRegistry, TraceEvent, TraceSink};
 use exaflow_netgraph::{LinkId, NodeId};
 use exaflow_topo::{FaultOverlay, Topology};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Engine configuration.
 ///
@@ -73,6 +75,13 @@ pub struct SimConfig {
     /// the bookkeeping.
     #[serde(default = "default_full_threshold")]
     pub incremental_full_threshold: f64,
+    /// Collect trace metrics ([`SimReport::metrics`]) even without an
+    /// explicit [`TraceSink`]; passing a sink to the `*_traced` entry
+    /// points enables tracing regardless. Off by default — an untraced
+    /// run constructs no events, touches no counters, and its report is
+    /// bit-identical to builds predating the trace subsystem.
+    #[serde(default)]
+    pub trace: bool,
 }
 
 fn default_true() -> bool {
@@ -145,6 +154,7 @@ impl Default for SimConfig {
             solver_incremental: true,
             coalesce_flows: true,
             incremental_full_threshold: 0.5,
+            trace: false,
         }
     }
 }
@@ -172,6 +182,8 @@ struct SimConfigUnchecked {
     coalesce_flows: bool,
     #[serde(default = "default_full_threshold")]
     incremental_full_threshold: f64,
+    #[serde(default)]
+    trace: bool,
 }
 
 impl serde::de::Deserialize for SimConfig {
@@ -190,6 +202,7 @@ impl serde::de::Deserialize for SimConfig {
             solver_incremental: raw.solver_incremental,
             coalesce_flows: raw.coalesce_flows,
             incremental_full_threshold: raw.incremental_full_threshold,
+            trace: raw.trace,
         };
         cfg.validate().map_err(serde::de::Error::custom)?;
         Ok(cfg)
@@ -300,6 +313,44 @@ impl<'a> Simulator<'a> {
         schedule: &FaultSchedule,
         policy: RecoveryPolicy,
     ) -> Result<SimReport, SimError> {
+        self.run_impl(dag, schedule, policy, None)
+    }
+
+    /// [`Simulator::run`] streaming every engine state transition into
+    /// `sink`; implies tracing regardless of [`SimConfig::trace`], so the
+    /// report also carries [`SimReport::metrics`]. The resulting trace
+    /// satisfies [`crate::trace_check::check_trace`] by construction.
+    pub fn run_traced(
+        &self,
+        dag: &FlowDag,
+        sink: &mut dyn TraceSink,
+    ) -> Result<SimReport, SimError> {
+        self.run_impl(
+            dag,
+            &FaultSchedule::empty(),
+            RecoveryPolicy::default(),
+            Some(sink),
+        )
+    }
+
+    /// [`Simulator::run_with_faults`] streaming trace events into `sink`.
+    pub fn run_with_faults_traced(
+        &self,
+        dag: &FlowDag,
+        schedule: &FaultSchedule,
+        policy: RecoveryPolicy,
+        sink: &mut dyn TraceSink,
+    ) -> Result<SimReport, SimError> {
+        self.run_impl(dag, schedule, policy, Some(sink))
+    }
+
+    fn run_impl(
+        &self,
+        dag: &FlowDag,
+        schedule: &FaultSchedule,
+        policy: RecoveryPolicy,
+        mut sink: Option<&mut dyn TraceSink>,
+    ) -> Result<SimReport, SimError> {
         self.cfg.validate()?;
         schedule.validate_for(self.topo.network())?;
         if let Some(max_ep) = dag.max_endpoint() {
@@ -358,6 +409,31 @@ impl<'a> Simulator<'a> {
 
         let mut ready: Vec<u32> = (0..n as u32).filter(|&f| indeg[f as usize] == 0).collect();
 
+        let tracing = self.cfg.trace || sink.is_some();
+        let mut metrics = if tracing {
+            Some(MetricsRegistry::new())
+        } else {
+            None
+        };
+
+        // Forward one event to the metrics registry and the sink. The whole
+        // emission — event construction included — sits behind the single
+        // `tracing` branch, so an untraced run pays one predictable jump
+        // per site and allocates nothing.
+        macro_rules! emit {
+            ($ev:expr) => {
+                if tracing {
+                    let ev: TraceEvent = $ev;
+                    if let Some(m) = metrics.as_mut() {
+                        m.observe(&ev);
+                    }
+                    if let Some(s) = sink.as_mut() {
+                        s.record(&ev);
+                    }
+                }
+            };
+        }
+
         // Retire flow `f` at the current time (delivered, degenerate, or
         // dropped): zero it, stamp its completion, release its dependents.
         macro_rules! retire {
@@ -383,11 +459,17 @@ impl<'a> Simulator<'a> {
         // solver entry in incremental/coalesced mode.
         macro_rules! admit {
             ($f:expr, $path:expr) => {{
+                let f: u32 = $f;
                 let path: Arc<[u32]> = $path;
+                emit!(TraceEvent::FlowStarted {
+                    t: now,
+                    flow: f,
+                    path: path.to_vec(),
+                });
                 if use_entries {
                     active_entries.push(solver.insert_entry(path.clone(), coalesce));
                 }
-                active_ids.push($f);
+                active_ids.push(f);
                 active_paths.push(path);
             }};
         }
@@ -399,7 +481,16 @@ impl<'a> Simulator<'a> {
             () => {
                 while let Some(f) = ready.pop() {
                     let spec = dag.flow(FlowId(f));
+                    emit!(TraceEvent::FlowActivated {
+                        t: now,
+                        flow: f,
+                        src: spec.src,
+                        dst: spec.dst,
+                        bytes: spec.bytes,
+                        preds: dag.preds(FlowId(f)).to_vec(),
+                    });
                     if spec.bytes == 0 || spec.src == spec.dst {
+                        emit!(TraceEvent::FlowFinished { t: now, flow: f });
                         retire!(f);
                         continue;
                     }
@@ -430,6 +521,7 @@ impl<'a> Simulator<'a> {
                             Err(SimError::Unreachable { .. })
                                 if matches!(policy, RecoveryPolicy::SkipUnreachable) =>
                             {
+                                emit!(TraceEvent::FlowSkipped { t: now, flow: f });
                                 retire!(f);
                                 skipped_flow_ids.push(f);
                                 continue;
@@ -480,12 +572,20 @@ impl<'a> Simulator<'a> {
                         FaultAction::Down => {
                             if overlay.fail_link(LinkId(ev.link)) {
                                 fault_events_applied += 1;
+                                emit!(TraceEvent::FaultApplied {
+                                    t: now,
+                                    link: ev.link,
+                                });
                                 downed.push(ev.link);
                             }
                         }
                         FaultAction::Up => {
                             if overlay.restore_link(LinkId(ev.link)) {
                                 fault_events_applied += 1;
+                                emit!(TraceEvent::FaultCleared {
+                                    t: now,
+                                    link: ev.link,
+                                });
                                 restored = true;
                             }
                         }
@@ -524,6 +624,12 @@ impl<'a> Simulator<'a> {
                         let spec = dag.flow(FlowId(f));
                         match self.build_path(&mut overlay, spec.src, spec.dst, &mut path_scratch) {
                             Ok(p) => {
+                                emit!(TraceEvent::RerouteTaken {
+                                    t: now,
+                                    flow: f,
+                                    path: p.to_vec(),
+                                    restarted: matches!(policy, RecoveryPolicy::RerouteRestart),
+                                });
                                 if use_entries {
                                     solver.remove_entry(active_entries[i]);
                                     active_entries[i] = solver.insert_entry(p.clone(), coalesce);
@@ -537,6 +643,7 @@ impl<'a> Simulator<'a> {
                             }
                             Err(e) => {
                                 if matches!(policy, RecoveryPolicy::SkipUnreachable) {
+                                    emit!(TraceEvent::FlowSkipped { t: now, flow: f });
                                     retire!(f);
                                     skipped_flow_ids.push(f);
                                     active_ids.swap_remove(i);
@@ -574,10 +681,17 @@ impl<'a> Simulator<'a> {
                                 // latency was committed when the flow was
                                 // scheduled. Nothing transferred yet, so
                                 // resume and restart coincide here.
+                                emit!(TraceEvent::RerouteTaken {
+                                    t: now,
+                                    flow: f,
+                                    path: p.to_vec(),
+                                    restarted: false,
+                                });
                                 delayed_paths.insert(f, p);
                             }
                             Err(e) => {
                                 if matches!(policy, RecoveryPolicy::SkipUnreachable) {
+                                    emit!(TraceEvent::FlowSkipped { t: now, flow: f });
                                     retire!(f);
                                     skipped_flow_ids.push(f);
                                     delayed_paths.remove(&f); // heap entry now stale
@@ -590,6 +704,14 @@ impl<'a> Simulator<'a> {
                 }
             }};
         }
+
+        emit!(TraceEvent::RunStarted {
+            flows: n as u64,
+            links: self.num_links as u64,
+            endpoints: self.num_eps as u64,
+            batch_epsilon: self.cfg.batch_epsilon,
+            capacities_bps: self.resource_capacities(),
+        });
 
         apply_due_faults!(); // faults scheduled at t = 0 precede all routing
         activate_ready!();
@@ -633,6 +755,7 @@ impl<'a> Simulator<'a> {
 
             events += 1;
             rates.resize(active_ids.len(), 0.0);
+            let solve_start = if tracing { Some(Instant::now()) } else { None };
             if use_entries {
                 solver.recompute(
                     self.cfg.solver_incremental,
@@ -643,6 +766,37 @@ impl<'a> Simulator<'a> {
                 }
             } else {
                 solver.solve(&active_paths, &mut rates);
+            }
+            if tracing {
+                if let Some(m) = metrics.as_mut() {
+                    let elapsed = solve_start.expect("set when tracing").elapsed();
+                    m.record_solve(elapsed.as_secs_f64(), active_ids.len());
+                    // Post-recompute utilisation probe: the most loaded
+                    // resource relative to its capacity.
+                    let mut load: HashMap<u32, f64> = HashMap::new();
+                    for (i, path) in active_paths.iter().enumerate() {
+                        for &r in path.iter() {
+                            *load.entry(r).or_insert(0.0) += rates[i];
+                        }
+                    }
+                    let peak = load
+                        .iter()
+                        .map(|(&r, &l)| l / solver.capacity(r))
+                        .fold(0.0, f64::max);
+                    m.record_utilization(peak);
+                }
+                let (entries_solved, full_pass) = if use_entries {
+                    (solver.last_pass_entries, solver.last_pass_full)
+                } else {
+                    (active_ids.len() as u64, true)
+                };
+                emit!(TraceEvent::RateRecompute {
+                    t: now,
+                    flows: active_ids.clone(),
+                    rates_bps: rates.clone(),
+                    entries_solved,
+                    full_pass,
+                });
             }
 
             // Earliest completion among active flows.
@@ -727,6 +881,10 @@ impl<'a> Simulator<'a> {
             let mut i = 0;
             while i < active_ids.len() {
                 if done_flags[i] {
+                    emit!(TraceEvent::FlowFinished {
+                        t: now,
+                        flow: active_ids[i],
+                    });
                     retire!(active_ids[i]);
                     active_ids.swap_remove(i);
                     active_paths.swap_remove(i);
@@ -773,6 +931,7 @@ impl<'a> Simulator<'a> {
             fault_events_applied,
             rate_recomputes: solver.rate_recomputes,
             flows_coalesced: solver.flows_coalesced,
+            metrics: metrics.map(|m| m.snapshot()),
         })
     }
 

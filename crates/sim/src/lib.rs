@@ -34,6 +34,12 @@
 //!   link-down/link-up events is consumed alongside completion events;
 //!   interrupted flows are aborted, dropped, or rerouted (resuming or
 //!   restarting the transfer) per the configured [`RecoveryPolicy`].
+//! * **Event tracing + metrics** ([`trace`], zero-cost when off): a traced
+//!   run streams every state transition to a [`TraceSink`] and aggregates
+//!   counters/histograms into [`SimReport::metrics`]; the pure
+//!   [`trace_check`] oracle replays a trace and independently verifies
+//!   byte conservation, capacity limits, time monotonicity, dependency
+//!   order and skip-unreachability.
 
 pub mod dag;
 pub mod engine;
@@ -41,9 +47,16 @@ pub mod error;
 pub mod fault;
 pub mod maxmin;
 pub mod report;
+pub mod trace;
+pub mod trace_check;
 
 pub use dag::{FlowDag, FlowDagBuilder, FlowId, FlowSpec};
 pub use engine::{SimConfig, Simulator};
 pub use error::SimError;
 pub use fault::{FaultAction, FaultEvent, FaultSchedule, FaultScheduleSpec, RecoveryPolicy};
 pub use report::SimReport;
+pub use trace::{
+    parse_jsonl, Histogram, JsonlSink, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceSink,
+    VecSink,
+};
+pub use trace_check::{check_trace, check_trace_with_topology, TraceSummary, TraceViolation};

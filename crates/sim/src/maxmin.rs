@@ -103,6 +103,13 @@ pub struct MaxMinSolver {
     pub full_recomputes: u64,
     /// Statistics: flows absorbed into an existing coalesced entry.
     pub flows_coalesced: u64,
+    /// Entries (weighted flow groups) the most recent pass actually
+    /// re-solved — the dirty-component size surfaced in trace events.
+    /// Zero when the last recompute found nothing to do.
+    pub last_pass_entries: u64,
+    /// Whether the most recent pass covered every live entry (a full pass)
+    /// rather than one dirty component.
+    pub last_pass_full: bool,
     // ---- incremental entry store (see module docs) ----
     // Slot `e` is live iff `ent_path[e].is_some()`; freed slots recycle
     // through `free_ents`. A live entry represents `ent_weight[e]` flows
@@ -163,6 +170,8 @@ impl MaxMinSolver {
             rate_recomputes: 0,
             full_recomputes: 0,
             flows_coalesced: 0,
+            last_pass_entries: 0,
+            last_pass_full: false,
             ent_path: Vec::new(),
             ent_weight: Vec::new(),
             ent_rate: Vec::new(),
@@ -200,6 +209,8 @@ impl MaxMinSolver {
         assert!(rates.len() >= num_flows);
         self.rate_recomputes += 1;
         self.full_recomputes += 1;
+        self.last_pass_entries = num_flows as u64;
+        self.last_pass_full = true;
         // Reset scratch for previously touched resources.
         for &r in &self.touched {
             self.count[r as usize] = 0;
@@ -399,12 +410,15 @@ impl MaxMinSolver {
     /// [`MaxMinSolver::solve`] over the same flow multiset either way.
     pub fn recompute(&mut self, incremental: bool, full_threshold: f64) {
         self.ensure_incremental();
+        self.last_pass_entries = 0;
+        self.last_pass_full = false;
         if self.pending_full || !incremental {
             self.pending_full = false;
             self.dirty_res.clear();
             self.collect_all_live();
             if !self.comp_entries.is_empty() {
                 self.full_recomputes += 1;
+                self.last_pass_full = true;
                 self.waterfill();
             }
             return;
@@ -478,6 +492,7 @@ impl MaxMinSolver {
         if oversized {
             self.collect_all_live();
             self.full_recomputes += 1;
+            self.last_pass_full = true;
         }
         self.waterfill();
     }
@@ -500,6 +515,7 @@ impl MaxMinSolver {
     fn waterfill(&mut self) {
         self.rate_recomputes += 1;
         let ids = std::mem::take(&mut self.comp_entries);
+        self.last_pass_entries = ids.len() as u64;
         // Reset scratch for previously touched resources (shared with
         // `solve`, so the two APIs can interleave on one solver).
         for &r in &self.touched {

@@ -1,5 +1,6 @@
 //! Simulation results.
 
+use crate::trace::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Result of one simulation run.
@@ -48,6 +49,13 @@ pub struct SimReport {
     /// [`crate::SimConfig::coalesce_flows`]. Zero with coalescing off.
     #[serde(default)]
     pub flows_coalesced: u64,
+    /// Counters and histograms collected when tracing is enabled (see
+    /// [`crate::SimConfig::trace`] and [`crate::trace`]); `None` — and the
+    /// report bit-identical to pre-tracing builds — otherwise. Contains
+    /// solver wall-clock timings, so traced reports are not bit-comparable
+    /// across reruns.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl SimReport {
@@ -135,6 +143,7 @@ mod tests {
             fault_events_applied: 0,
             rate_recomputes: 0,
             flows_coalesced: 0,
+            metrics: None,
         }
     }
 

@@ -1,0 +1,685 @@
+//! The trace oracle: replay an event trace and verify the engine's global
+//! invariants independently of the engine that produced it.
+//!
+//! [`check_trace`] is a pure function over a complete [`TraceEvent`]
+//! stream (as emitted by a traced [`Simulator`](crate::Simulator) run). It
+//! rebuilds the run — per-flow state machines, the current rate
+//! assignment, the set of failed links — and asserts:
+//!
+//! 1. **Monotone time** — event timestamps never decrease.
+//! 2. **Byte conservation** — integrating each flow's allocated rate over
+//!    its active lifetime delivers exactly its size (within the engine's
+//!    completion-batching epsilon), restarting the count when a
+//!    `reroute_restart` discards progress.
+//! 3. **Capacity** — at every rate recomputation, the allocations crossing
+//!    each resource sum to at most its capacity.
+//! 4. **Dependencies** — a flow only activates after every DAG predecessor
+//!    finished or was skipped.
+//! 5. **Fault discipline** — flows are only skipped while at least one
+//!    link is down, started/rerouted paths never cross a downed link, and
+//!    fault events apply/clear links consistently. With the topology in
+//!    hand, [`check_trace_with_topology`] additionally proves every
+//!    skipped flow's destination was *actually unreachable* under the
+//!    failed links at skip time.
+//!
+//! This gives the incremental solver, the fault machinery and the
+//! coalescing layer an independent witness: bit-equality tests show two
+//! engines agree, the oracle shows they agree on something *physical*.
+
+use crate::trace::TraceEvent;
+use exaflow_netgraph::{LinkId, NodeId};
+use exaflow_topo::{FaultOverlay, Topology};
+use std::collections::{BTreeSet, HashMap};
+
+/// Aggregate facts established by a successful replay.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceSummary {
+    /// Events replayed (including the header).
+    pub events: usize,
+    /// Flows that activated.
+    pub flows_activated: u64,
+    /// Flows that delivered (degenerate flows included).
+    pub flows_finished: u64,
+    /// Flows dropped by the skip policy.
+    pub flows_skipped: u64,
+    /// Reroutes taken.
+    pub reroutes: u64,
+    /// Largest `allocated / capacity` seen on any resource.
+    pub max_utilization: f64,
+    /// Simulated time of the last event.
+    pub end_time_s: f64,
+}
+
+/// A broken invariant: which event tripped it and why.
+#[derive(Clone, Debug)]
+pub struct TraceViolation {
+    /// Index into the event slice (`None`: a whole-trace property).
+    pub index: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.index {
+            Some(i) => write!(f, "trace event {i}: {}", self.message),
+            None => write!(f, "trace: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for TraceViolation {}
+
+/// Relative slack for float accumulation beyond the engine's own batching
+/// epsilon: integrating rates over thousands of intervals loses a few ulps.
+const FLOAT_SLACK: f64 = 1e-6;
+/// Relative capacity headroom: progressive filling saturates bottlenecks
+/// exactly, so anything beyond rounding noise is a real violation.
+const CAPACITY_SLACK: f64 = 1e-9;
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum FlowState {
+    Pending,
+    Activated,
+    Started,
+    Finished,
+    Skipped,
+}
+
+struct FlowReplay {
+    state: FlowState,
+    src: u32,
+    dst: u32,
+    bits: f64,
+    /// Bits delivered so far under the rate integration.
+    delivered: f64,
+    /// Current resource path (set at start, replaced on reroute).
+    path: Vec<u32>,
+}
+
+/// Verify a complete trace against the engine invariants. See the module
+/// docs for the invariant list; returns a [`TraceSummary`] of the replay
+/// or the first [`TraceViolation`] encountered.
+pub fn check_trace(events: &[TraceEvent]) -> Result<TraceSummary, TraceViolation> {
+    check_inner(events, None)
+}
+
+/// [`check_trace`], plus the unreachability proof for every skipped flow:
+/// re-derive the failed-link set at each `flow_skipped` event and assert
+/// `topo` offers no route from the flow's source to its destination. The
+/// topology must be the one that produced the trace.
+pub fn check_trace_with_topology(
+    events: &[TraceEvent],
+    topo: &dyn Topology,
+) -> Result<TraceSummary, TraceViolation> {
+    check_inner(events, Some(topo))
+}
+
+fn check_inner(
+    events: &[TraceEvent],
+    topo: Option<&dyn Topology>,
+) -> Result<TraceSummary, TraceViolation> {
+    let fail = |index: Option<usize>, message: String| TraceViolation { index, message };
+
+    let Some(TraceEvent::RunStarted {
+        flows,
+        links,
+        endpoints,
+        batch_epsilon,
+        capacities_bps,
+    }) = events.first()
+    else {
+        return Err(fail(
+            Some(0),
+            "trace must begin with a run_started header".into(),
+        ));
+    };
+    let n = *flows as usize;
+    let num_links = *links as u32;
+    let num_resources = (*links + 2 * *endpoints) as u32;
+    if capacities_bps.len() != num_resources as usize {
+        return Err(fail(
+            Some(0),
+            format!(
+                "header declares {num_resources} resources but carries {} capacities",
+                capacities_bps.len()
+            ),
+        ));
+    }
+    if let Some(t) = topo {
+        if t.network().num_links() as u64 != *links || t.num_endpoints() as u64 != *endpoints {
+            return Err(fail(
+                Some(0),
+                format!(
+                    "topology {} ({} links, {} endpoints) does not match the header \
+                     ({links} links, {endpoints} endpoints)",
+                    t.name(),
+                    t.network().num_links(),
+                    t.num_endpoints()
+                ),
+            ));
+        }
+    }
+
+    let mut replay: Vec<FlowReplay> = (0..n)
+        .map(|_| FlowReplay {
+            state: FlowState::Pending,
+            src: 0,
+            dst: 0,
+            bits: 0.0,
+            delivered: 0.0,
+            path: Vec::new(),
+        })
+        .collect();
+    // Current rate assignment: (flow, bits/second), valid since `last_t`.
+    let mut current_rates: Vec<(u32, f64)> = Vec::new();
+    let mut down: BTreeSet<u32> = BTreeSet::new();
+    let mut load: HashMap<u32, f64> = HashMap::new();
+    let mut last_t = 0.0f64;
+    let mut summary = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+
+    let check_flow = |i: usize, f: u32| -> Result<usize, TraceViolation> {
+        let idx = f as usize;
+        if idx >= n {
+            return Err(fail(
+                Some(i),
+                format!("flow {f} out of range (dag has {n})"),
+            ));
+        }
+        Ok(idx)
+    };
+    let check_path = |i: usize, path: &[u32], down: &BTreeSet<u32>| -> Result<(), TraceViolation> {
+        if path.len() < 2 {
+            return Err(fail(
+                Some(i),
+                format!("path {path:?} lacks the injection/ejection resources"),
+            ));
+        }
+        for &r in path {
+            if r >= num_resources {
+                return Err(fail(
+                    Some(i),
+                    format!("path resource {r} out of range ({num_resources} resources)"),
+                ));
+            }
+            if r < num_links && down.contains(&r) {
+                return Err(fail(Some(i), format!("path crosses downed link {r}")));
+            }
+        }
+        Ok(())
+    };
+
+    for (i, ev) in events.iter().enumerate() {
+        if let Some(t) = ev.time() {
+            if t < last_t {
+                return Err(fail(
+                    Some(i),
+                    format!("time went backwards: {t} after {last_t}"),
+                ));
+            }
+            if t > last_t {
+                // The rate assignment from the last recompute held for the
+                // whole interval: integrate every active flow's delivery.
+                let dt = t - last_t;
+                for &(f, rate) in &current_rates {
+                    replay[f as usize].delivered += rate * dt;
+                }
+                last_t = t;
+            }
+        }
+
+        match ev {
+            TraceEvent::RunStarted { .. } => {
+                if i != 0 {
+                    return Err(fail(Some(i), "duplicate run_started header".into()));
+                }
+            }
+            TraceEvent::FlowActivated {
+                flow,
+                src,
+                dst,
+                bytes,
+                preds,
+                ..
+            } => {
+                let idx = check_flow(i, *flow)?;
+                if replay[idx].state != FlowState::Pending {
+                    return Err(fail(
+                        Some(i),
+                        format!("flow {flow} activated twice ({:?})", replay[idx].state),
+                    ));
+                }
+                for &p in preds {
+                    let pidx = check_flow(i, p)?;
+                    if !matches!(replay[pidx].state, FlowState::Finished | FlowState::Skipped) {
+                        return Err(fail(
+                            Some(i),
+                            format!(
+                                "flow {flow} activated before predecessor {p} resolved \
+                                 ({:?})",
+                                replay[pidx].state
+                            ),
+                        ));
+                    }
+                }
+                replay[idx].state = FlowState::Activated;
+                replay[idx].src = *src;
+                replay[idx].dst = *dst;
+                replay[idx].bits = *bytes as f64 * 8.0;
+                summary.flows_activated += 1;
+            }
+            TraceEvent::FlowStarted { flow, path, .. } => {
+                let idx = check_flow(i, *flow)?;
+                if replay[idx].state != FlowState::Activated {
+                    return Err(fail(
+                        Some(i),
+                        format!(
+                            "flow {flow} started from state {:?} (want activated)",
+                            replay[idx].state
+                        ),
+                    ));
+                }
+                check_path(i, path, &down)?;
+                replay[idx].state = FlowState::Started;
+                replay[idx].path = path.clone();
+            }
+            TraceEvent::FlowFinished { flow, .. } => {
+                let idx = check_flow(i, *flow)?;
+                match replay[idx].state {
+                    // A started flow must have delivered its bytes.
+                    FlowState::Started => {
+                        let bits = replay[idx].bits;
+                        let tol = bits * (batch_epsilon + FLOAT_SLACK) + 1.0;
+                        let got = replay[idx].delivered;
+                        if (got - bits).abs() > tol {
+                            return Err(fail(
+                                Some(i),
+                                format!(
+                                    "flow {flow} finished having delivered {got} of {bits} \
+                                     bits (tolerance {tol})"
+                                ),
+                            ));
+                        }
+                    }
+                    // Degenerate flows (zero bytes, self-traffic) finish
+                    // straight from activation without transferring.
+                    FlowState::Activated => {}
+                    other => {
+                        return Err(fail(
+                            Some(i),
+                            format!("flow {flow} finished from state {other:?}"),
+                        ));
+                    }
+                }
+                replay[idx].state = FlowState::Finished;
+                current_rates.retain(|&(f, _)| f != *flow);
+                summary.flows_finished += 1;
+            }
+            TraceEvent::FlowSkipped { flow, .. } => {
+                let idx = check_flow(i, *flow)?;
+                if !matches!(replay[idx].state, FlowState::Activated | FlowState::Started) {
+                    return Err(fail(
+                        Some(i),
+                        format!("flow {flow} skipped from state {:?}", replay[idx].state),
+                    ));
+                }
+                if down.is_empty() {
+                    return Err(fail(
+                        Some(i),
+                        format!("flow {flow} skipped with no link down"),
+                    ));
+                }
+                if let Some(t) = topo {
+                    // The skip policy's claim, re-proved from scratch: under
+                    // exactly the currently-failed links, no route exists.
+                    let mut overlay = FaultOverlay::new(t);
+                    for &l in &down {
+                        overlay.fail_link(LinkId(l));
+                    }
+                    let mut scratch = Vec::new();
+                    let (src, dst) = (replay[idx].src, replay[idx].dst);
+                    if overlay
+                        .try_route(NodeId(src), NodeId(dst), &mut scratch)
+                        .is_ok()
+                    {
+                        return Err(fail(
+                            Some(i),
+                            format!(
+                                "flow {flow} ({src} -> {dst}) skipped although a route \
+                                 exists around the {} failed link(s)",
+                                down.len()
+                            ),
+                        ));
+                    }
+                }
+                replay[idx].state = FlowState::Skipped;
+                current_rates.retain(|&(f, _)| f != *flow);
+                summary.flows_skipped += 1;
+            }
+            TraceEvent::RateRecompute {
+                flows, rates_bps, ..
+            } => {
+                if flows.len() != rates_bps.len() {
+                    return Err(fail(
+                        Some(i),
+                        format!(
+                            "{} flows but {} rates in recompute",
+                            flows.len(),
+                            rates_bps.len()
+                        ),
+                    ));
+                }
+                // The assignment must cover exactly the started flows...
+                let started: BTreeSet<u32> = replay
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.state == FlowState::Started)
+                    .map(|(f, _)| f as u32)
+                    .collect();
+                let assigned: BTreeSet<u32> = flows.iter().copied().collect();
+                if assigned != started {
+                    return Err(fail(
+                        Some(i),
+                        format!(
+                            "recompute covers flows {assigned:?} but the started set is \
+                             {started:?}"
+                        ),
+                    ));
+                }
+                // ...with finite non-negative rates that fit every resource.
+                load.clear();
+                for (&f, &rate) in flows.iter().zip(rates_bps) {
+                    if !(rate.is_finite() && rate >= 0.0) {
+                        return Err(fail(Some(i), format!("flow {f} assigned rate {rate}")));
+                    }
+                    for &r in &replay[f as usize].path {
+                        *load.entry(r).or_insert(0.0) += rate;
+                    }
+                }
+                for (&r, &l) in &load {
+                    let cap = capacities_bps[r as usize];
+                    if l > cap * (1.0 + CAPACITY_SLACK) {
+                        return Err(fail(
+                            Some(i),
+                            format!("resource {r} loaded to {l} bps over capacity {cap}"),
+                        ));
+                    }
+                    if cap > 0.0 {
+                        summary.max_utilization = summary.max_utilization.max(l / cap);
+                    }
+                }
+                current_rates = flows
+                    .iter()
+                    .copied()
+                    .zip(rates_bps.iter().copied())
+                    .collect();
+            }
+            TraceEvent::FaultApplied { link, .. } => {
+                if *link >= num_links {
+                    return Err(fail(
+                        Some(i),
+                        format!("fault on link {link} out of range ({num_links} links)"),
+                    ));
+                }
+                if !down.insert(*link) {
+                    return Err(fail(
+                        Some(i),
+                        format!("link {link} failed while already down"),
+                    ));
+                }
+            }
+            TraceEvent::FaultCleared { link, .. } => {
+                if !down.remove(link) {
+                    return Err(fail(
+                        Some(i),
+                        format!("link {link} repaired while not down"),
+                    ));
+                }
+            }
+            TraceEvent::RerouteTaken {
+                flow,
+                path,
+                restarted,
+                ..
+            } => {
+                let idx = check_flow(i, *flow)?;
+                match replay[idx].state {
+                    FlowState::Started => {
+                        check_path(i, path, &down)?;
+                        replay[idx].path = path.clone();
+                    }
+                    // Latency-delayed flows reroute before starting; the
+                    // replacement path arrives again with flow_started.
+                    FlowState::Activated => check_path(i, path, &down)?,
+                    other => {
+                        return Err(fail(
+                            Some(i),
+                            format!("flow {flow} rerouted from state {other:?}"),
+                        ));
+                    }
+                }
+                if *restarted {
+                    // Restart discards progress: the delivery count begins
+                    // again and must still reach the full size.
+                    replay[idx].delivered = 0.0;
+                }
+                summary.reroutes += 1;
+            }
+        }
+    }
+
+    // A complete run leaves no flow mid-flight.
+    for (f, r) in replay.iter().enumerate() {
+        if matches!(r.state, FlowState::Activated | FlowState::Started) {
+            return Err(fail(
+                None,
+                format!("flow {f} never resolved (trace ends in {:?})", r.state),
+            ));
+        }
+    }
+    summary.end_time_s = last_t;
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(flows: u64) -> TraceEvent {
+        TraceEvent::RunStarted {
+            flows,
+            links: 2,
+            endpoints: 2,
+            batch_epsilon: 1e-9,
+            capacities_bps: vec![1e9; 6],
+        }
+    }
+
+    fn activated(flow: u32, t: f64) -> TraceEvent {
+        TraceEvent::FlowActivated {
+            t,
+            flow,
+            src: 0,
+            dst: 1,
+            bytes: 1000,
+            preds: vec![],
+        }
+    }
+
+    fn well_formed() -> Vec<TraceEvent> {
+        vec![
+            header(1),
+            activated(0, 0.0),
+            TraceEvent::FlowStarted {
+                t: 0.0,
+                flow: 0,
+                path: vec![2, 0, 5],
+            },
+            TraceEvent::RateRecompute {
+                t: 0.0,
+                flows: vec![0],
+                rates_bps: vec![1e9],
+                entries_solved: 1,
+                full_pass: true,
+            },
+            TraceEvent::FlowFinished { t: 8e-6, flow: 0 },
+        ]
+    }
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let s = check_trace(&well_formed()).unwrap();
+        assert_eq!(s.flows_finished, 1);
+        assert_eq!(s.end_time_s, 8e-6);
+        assert!((s.max_utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_a_missing_header() {
+        let err = check_trace(&well_formed()[1..]).unwrap_err();
+        assert!(err.message.contains("run_started"), "{err}");
+    }
+
+    #[test]
+    fn rejects_backwards_time() {
+        let mut t = well_formed();
+        t.push(TraceEvent::FaultApplied { t: 1e-6, link: 0 });
+        let err = check_trace(&t).unwrap_err();
+        assert!(err.message.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_bytes() {
+        let mut t = well_formed();
+        // Finishing at half the wire time means half the bits arrived.
+        t[4] = TraceEvent::FlowFinished { t: 4e-6, flow: 0 };
+        let err = check_trace(&t).unwrap_err();
+        assert!(err.message.contains("delivered"), "{err}");
+    }
+
+    #[test]
+    fn rejects_overcommitted_resources() {
+        let mut t = well_formed();
+        t[3] = TraceEvent::RateRecompute {
+            t: 0.0,
+            flows: vec![0],
+            rates_bps: vec![2e9],
+            entries_solved: 1,
+            full_pass: true,
+        };
+        let err = check_trace(&t).unwrap_err();
+        assert!(err.message.contains("over capacity"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unresolved_dependencies() {
+        let t = vec![
+            header(2),
+            TraceEvent::FlowActivated {
+                t: 0.0,
+                flow: 1,
+                src: 0,
+                dst: 1,
+                bytes: 0,
+                preds: vec![0],
+            },
+        ];
+        let err = check_trace(&t).unwrap_err();
+        assert!(err.message.contains("predecessor"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_skip_without_a_fault() {
+        let t = vec![
+            header(1),
+            activated(0, 0.0),
+            TraceEvent::FlowSkipped { t: 0.0, flow: 0 },
+        ];
+        let err = check_trace(&t).unwrap_err();
+        assert!(err.message.contains("no link down"), "{err}");
+    }
+
+    #[test]
+    fn rejects_an_unfinished_run() {
+        let t = vec![header(1), activated(0, 0.0)];
+        let err = check_trace(&t).unwrap_err();
+        assert!(err.message.contains("never resolved"), "{err}");
+    }
+
+    #[test]
+    fn rejects_paths_crossing_downed_links() {
+        let t = vec![
+            header(1),
+            TraceEvent::FaultApplied { t: 0.0, link: 0 },
+            activated(0, 0.0),
+            TraceEvent::FlowStarted {
+                t: 0.0,
+                flow: 0,
+                path: vec![2, 0, 5],
+            },
+        ];
+        let err = check_trace(&t).unwrap_err();
+        assert!(err.message.contains("downed link"), "{err}");
+    }
+
+    #[test]
+    fn restart_resets_the_delivery_count() {
+        let mut t = well_formed();
+        t.insert(
+            4,
+            TraceEvent::RerouteTaken {
+                t: 4e-6,
+                flow: 0,
+                path: vec![2, 1, 5],
+                restarted: true,
+            },
+        );
+        // After a restart at the halfway point, finishing at the original
+        // time means only half the bits arrived on the second attempt.
+        let err = check_trace(&t).unwrap_err();
+        assert!(err.message.contains("delivered"), "{err}");
+        // Give the retransmission its full wire time and the trace passes.
+        let last = t.len() - 1;
+        t[last] = TraceEvent::FlowFinished { t: 12e-6, flow: 0 };
+        check_trace(&t).unwrap();
+    }
+
+    #[test]
+    fn skip_unreachability_is_proved_against_the_topology() {
+        use exaflow_topo::Torus;
+        let topo = Torus::new(&[4]);
+        let net = topo.network();
+        let net_links = net.num_links() as u64;
+        let eps = topo.num_endpoints() as u64;
+        let header = TraceEvent::RunStarted {
+            flows: 1,
+            links: net_links,
+            endpoints: eps,
+            batch_epsilon: 1e-9,
+            capacities_bps: vec![1e9; (net_links + 2 * eps) as usize],
+        };
+        // Failing only the reverse cable 1 -> 0 leaves 0 -> 1 reachable:
+        // the oracle must reject the skip.
+        let reverse = net.find_physical_link(NodeId(1), NodeId(0)).unwrap().0;
+        let one_down = vec![
+            header.clone(),
+            TraceEvent::FaultApplied {
+                t: 0.0,
+                link: reverse,
+            },
+            activated(0, 0.0),
+            TraceEvent::FlowSkipped { t: 0.0, flow: 0 },
+        ];
+        let err = check_trace_with_topology(&one_down, &topo).unwrap_err();
+        assert!(err.message.contains("route exists"), "{err}");
+        // Failing every link genuinely cuts 0 off from 1.
+        let mut t = vec![header, activated(0, 0.0)];
+        t.extend((0..net_links as u32).map(|l| TraceEvent::FaultApplied { t: 0.0, link: l }));
+        t.push(TraceEvent::FlowSkipped { t: 0.0, flow: 0 });
+        let s = check_trace_with_topology(&t, &topo).unwrap();
+        assert_eq!(s.flows_skipped, 1);
+    }
+}

@@ -5,13 +5,28 @@
 
 use exaflow_netgraph::{bfs_distances_physical, NodeId};
 use exaflow_topo::{
-    check_route, ConnectionRule, GeneralizedHypercube, KAryTree, Nested, Topology, Torus,
-    UpperTierKind,
+    check_route, ConnectionRule, Dragonfly, GeneralizedHypercube, Jellyfish, KAryTree, Nested,
+    Topology, Torus, UpperTierKind,
 };
 use proptest::prelude::*;
 
 fn torus_dims() -> impl Strategy<Value = Vec<u32>> {
     prop::collection::vec(1u32..6, 1..4)
+}
+
+/// Exhaustively cover the jellyfish parameter space the property test
+/// samples from: every `(switches, graph_seed)` combination must yield a
+/// connected graph (construction panics otherwise), so the proptest below
+/// can never trip over an unlucky sample.
+#[test]
+fn jellyfish_proptest_space_is_constructible() {
+    for switches in 4u32..12 {
+        let fabric_degree = if switches % 2 == 0 { 3 } else { 4 };
+        for graph_seed in 0u64..16 {
+            let j = Jellyfish::new(switches, 1, fabric_degree, graph_seed);
+            check_route(&j, NodeId(0), NodeId(switches - 1)).unwrap();
+        }
+    }
 }
 
 proptest! {
@@ -124,6 +139,57 @@ proptest! {
         let s = NodeId((seed % e) as u32);
         let d = NodeId(((seed >> 32) % e) as u32);
         prop_assert_eq!(topo.route_vec(s, d), topo.route_vec(s, d));
+    }
+
+    #[test]
+    fn dragonfly_routes_valid_and_within_diameter(
+        groups_frac in 1u64..100,
+        a in 2u32..5,
+        p in 1u32..4,
+        h in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        // Any group count from 2 up to the full a·h + 1.
+        let max_groups = (a * h + 1) as u64;
+        let groups = (2 + groups_frac * (max_groups - 2) / 100).min(max_groups) as u32;
+        let g = Dragonfly::new(groups, a, p, h);
+        let e = g.num_endpoints() as u64;
+        let s = NodeId((seed % e) as u32);
+        let d = NodeId(((seed >> 32) % e) as u32);
+        let len = check_route(&g, s, d).unwrap();
+        // Minimal dragonfly routing: injection + (local, global, local) +
+        // ejection — never more than five physical cables.
+        prop_assert!(len <= 5, "dragonfly route {s}->{d} takes {len} links");
+    }
+
+    #[test]
+    fn dragonfly_balanced_routes_valid(p in 1u32..4, seed in any::<u64>()) {
+        let g = Dragonfly::balanced(p);
+        let e = g.num_endpoints() as u64;
+        let s = NodeId((seed % e) as u32);
+        let d = NodeId(((seed >> 32) % e) as u32);
+        let len = check_route(&g, s, d).unwrap();
+        prop_assert!(len <= 5);
+    }
+
+    #[test]
+    fn jellyfish_routes_valid_and_minimal(
+        switches in 4u32..12,
+        endpoint_ports in 1u32..4,
+        graph_seed in 0u64..16,
+        seed in any::<u64>(),
+    ) {
+        // Keep switches * fabric_degree even so the regular graph exists.
+        let fabric_degree = if switches % 2 == 0 { 3 } else { 4 };
+        let j = Jellyfish::new(switches, endpoint_ports, fabric_degree, graph_seed);
+        let e = j.num_endpoints() as u64;
+        let s = NodeId((seed % e) as u32);
+        let d = NodeId(((seed >> 32) % e) as u32);
+        // check_route already asserts length == distance(); pin the other
+        // side of that equation to the graph-theoretic shortest path.
+        check_route(&j, s, d).unwrap();
+        let bfs = bfs_distances_physical(j.network(), s);
+        prop_assert_eq!(j.distance(s, d), bfs[d.0 as usize]);
     }
 
     #[test]

@@ -16,4 +16,11 @@ cargo test -q --workspace
 echo "== cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 
+echo "== tracing-off output is bit-identical to the pinned pre-tracing run"
+cargo build -q --release -p exaflow-cli
+./target/release/exaflow run scripts/golden_run_config.json \
+  | grep -v '"wall_seconds"' \
+  | diff -u scripts/golden_run_expected.json - \
+  || { echo "untraced 'exaflow run' output drifted from scripts/golden_run_expected.json"; exit 1; }
+
 echo "All checks passed."

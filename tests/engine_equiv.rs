@@ -76,13 +76,40 @@ fn cfg(incremental: bool, coalesce: bool) -> SimConfig {
 
 /// Serialize a report with the solver-effort counters zeroed. Iterations,
 /// recompute and coalescing counts measure *work done*, not physics, and
-/// are the only fields allowed to differ between engine modes.
+/// are the only fields allowed to differ between engine modes. The metrics
+/// snapshot is dropped too: it carries wall-clock solver timings.
 fn canonical(report: &SimReport) -> String {
     let mut r = report.clone();
     r.maxmin_iterations = 0;
     r.rate_recomputes = 0;
     r.flows_coalesced = 0;
+    r.metrics = None;
     serde_json::to_string(&r).unwrap()
+}
+
+/// Zero the solver-effort payload of `rate_recompute` events — like the
+/// report counters, `entries_solved`/`full_pass` measure work done and are
+/// the only trace fields allowed to differ between engine modes.
+fn canonical_trace(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .cloned()
+        .map(|ev| match ev {
+            TraceEvent::RateRecompute {
+                t,
+                flows,
+                rates_bps,
+                ..
+            } => TraceEvent::RateRecompute {
+                t,
+                flows,
+                rates_bps,
+                entries_solved: 0,
+                full_pass: false,
+            },
+            other => other,
+        })
+        .collect()
 }
 
 fn workload_for(eps: usize) -> FlowDag {
@@ -181,6 +208,108 @@ fn schedule_for(topo: &dyn Topology, reference: &SimReport) -> FaultSchedule {
         });
     }
     FaultSchedule::new(events).unwrap()
+}
+
+/// Fault-free traces: every engine mode must narrate the *same story* —
+/// event-for-event identical after canonicalisation — and every trace must
+/// satisfy the replay oracle, including the topology-backed
+/// skip-unreachability proof on the reference trace.
+#[test]
+fn fault_free_traces_identical_across_modes_and_pass_the_oracle() {
+    for (name, spec) in specs() {
+        let topo = spec.build().unwrap();
+        let dag = workload_for(topo.num_endpoints());
+
+        let mut sink = VecSink::new();
+        let reference_report = Simulator::with_config(topo.as_ref(), cfg(false, false))
+            .run_traced(&dag, &mut sink)
+            .unwrap();
+        let reference = sink.into_events();
+
+        let summary = check_trace(&reference)
+            .unwrap_or_else(|v| panic!("{name}: reference trace failed the oracle: {v}"));
+        assert_eq!(summary.flows_finished, dag.len() as u64, "{name}");
+        assert_eq!(summary.flows_skipped, 0, "{name}");
+        assert!(summary.max_utilization > 0.99, "{name}: links never filled");
+        check_trace_with_topology(&reference, topo.as_ref())
+            .unwrap_or_else(|v| panic!("{name}: topology oracle: {v}"));
+
+        // Tracing must observe, not perturb: same physics as the untraced run.
+        let untraced = Simulator::with_config(topo.as_ref(), cfg(false, false))
+            .run(&dag)
+            .unwrap();
+        assert_eq!(canonical(&reference_report), canonical(&untraced), "{name}");
+
+        let want = canonical_trace(&reference);
+        for (inc, coal) in MODES {
+            let mut sink = VecSink::new();
+            Simulator::with_config(topo.as_ref(), cfg(inc, coal))
+                .run_traced(&dag, &mut sink)
+                .unwrap();
+            let events = sink.into_events();
+            check_trace(&events).unwrap_or_else(|v| {
+                panic!("{name}: incremental={inc} coalesce={coal} trace failed the oracle: {v}")
+            });
+            assert_eq!(
+                canonical_trace(&events),
+                want,
+                "{name}: incremental={inc} coalesce={coal} trace diverged from the reference"
+            );
+        }
+    }
+}
+
+/// Faulted traces under every surviving recovery policy: mode-identical
+/// and oracle-clean, across cut + repair churn.
+#[test]
+fn faulted_traces_identical_across_modes_and_pass_the_oracle() {
+    for (name, spec) in specs() {
+        let topo = spec.build().unwrap();
+        let dag = workload_for(topo.num_endpoints());
+        let reference_engine = Simulator::with_config(topo.as_ref(), cfg(false, false));
+        let schedule = schedule_for(topo.as_ref(), &reference_engine.run(&dag).unwrap());
+
+        // Abort aborts mid-run, leaving a legitimately truncated trace the
+        // completeness oracle would reject; the three surviving policies
+        // must each produce a full, mode-identical, oracle-clean trace.
+        for policy in [
+            RecoveryPolicy::RerouteResume,
+            RecoveryPolicy::RerouteRestart,
+            RecoveryPolicy::SkipUnreachable,
+        ] {
+            let mut sink = VecSink::new();
+            let reference_run =
+                reference_engine.run_with_faults_traced(&dag, &schedule, policy, &mut sink);
+            let reference = sink.into_events();
+            if reference_run.is_err() {
+                continue; // restart on a repaired cut can still livelock-guard out
+            }
+            let summary = check_trace(&reference)
+                .unwrap_or_else(|v| panic!("{name}/{policy:?}: oracle: {v}"));
+            assert!(summary.events > 2, "{name}/{policy:?}: empty trace");
+            check_trace_with_topology(&reference, topo.as_ref())
+                .unwrap_or_else(|v| panic!("{name}/{policy:?}: topology oracle: {v}"));
+
+            let want = canonical_trace(&reference);
+            for (inc, coal) in MODES {
+                let mut sink = VecSink::new();
+                Simulator::with_config(topo.as_ref(), cfg(inc, coal))
+                    .run_with_faults_traced(&dag, &schedule, policy, &mut sink)
+                    .unwrap_or_else(|e| {
+                        panic!("{name}/{policy:?}: incremental={inc} coalesce={coal}: {e:?}")
+                    });
+                let events = sink.into_events();
+                check_trace(&events).unwrap_or_else(|v| {
+                    panic!("{name}/{policy:?}: incremental={inc} coalesce={coal} oracle: {v}")
+                });
+                assert_eq!(
+                    canonical_trace(&events),
+                    want,
+                    "{name}/{policy:?}: incremental={inc} coalesce={coal} trace diverged"
+                );
+            }
+        }
+    }
 }
 
 #[test]

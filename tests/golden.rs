@@ -79,6 +79,80 @@ fn threads() -> Option<usize> {
     std::thread::available_parallelism().ok().map(|n| n.get())
 }
 
+/// The trace schema itself is a pinned artefact: `golden_trace.jsonl`
+/// holds the event stream of a fixed scenario (ring of 6; a dependency
+/// chain plus a concurrent flow; a mid-run duplex cut and repair under
+/// resume recovery). Any change to event ordering, field naming, or float
+/// formatting shows up as a line diff here. Regenerate deliberately with
+/// `EXAFLOW_BLESS=1 cargo test --test golden golden_trace`.
+#[test]
+fn golden_trace_is_pinned_line_for_line() {
+    let topo = Torus::new(&[6]);
+    let mut b = FlowDagBuilder::new();
+    let head = b.add_flow(NodeId(0), NodeId(3), 1 << 20, &[]);
+    b.add_flow(NodeId(3), NodeId(0), 1 << 20, &[head]);
+    b.add_flow(NodeId(1), NodeId(4), 1 << 19, &[]);
+    let dag = b.build();
+    let sim = Simulator::new(&topo);
+    let baseline = sim.run(&dag).unwrap().makespan_seconds;
+    let net = topo.network();
+    let mut events = Vec::new();
+    for (a, b) in [(1u32, 2u32), (2, 1)] {
+        let link = net.find_physical_link(NodeId(a), NodeId(b)).unwrap().0;
+        events.push(FaultEvent {
+            time_s: baseline * 0.3,
+            link,
+            action: FaultAction::Down,
+        });
+        events.push(FaultEvent {
+            time_s: baseline * 0.6,
+            link,
+            action: FaultAction::Up,
+        });
+    }
+    let schedule = FaultSchedule::new(events).unwrap();
+
+    let mut sink = VecSink::new();
+    sim.run_with_faults_traced(&dag, &schedule, RecoveryPolicy::RerouteResume, &mut sink)
+        .unwrap();
+    let events = sink.into_events();
+    // The scenario must exercise the full event vocabulary minus skips.
+    let summary = check_trace_with_topology(&events, &topo).unwrap();
+    assert_eq!(summary.flows_finished, 3);
+    assert!(summary.reroutes >= 1, "the cut never forced a detour");
+
+    let got: Vec<String> = events
+        .iter()
+        .map(|e| serde_json::to_string(e).unwrap())
+        .collect();
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("golden_trace.jsonl");
+    if std::env::var_os("EXAFLOW_BLESS").is_some() {
+        std::fs::write(&path, got.join("\n") + "\n").unwrap();
+        return;
+    }
+    let pinned_text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden trace {} unreadable: {e}", path.display()));
+    // The pinned bytes must round-trip through the parser and the oracle.
+    let pinned_events = parse_jsonl(&pinned_text).unwrap();
+    check_trace(&pinned_events).unwrap();
+    let pinned: Vec<&str> = pinned_text.lines().collect();
+    assert_eq!(
+        got.len(),
+        pinned.len(),
+        "trace has {} events, golden file has {} lines",
+        got.len(),
+        pinned.len()
+    );
+    for (i, (g, w)) in got.iter().zip(&pinned).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "golden trace line {} drifted:\n  got    {g}\n  pinned {w}",
+            i + 1
+        );
+    }
+}
+
 /// Table 1, row (t=2, u=8) at the paper's full 131 072-QFDB scale: the
 /// exact parameters of `crates/bench/src/bin/table1.rs` (96 sampled
 /// sources, seed 0xE1F, corner witnesses).

@@ -144,6 +144,79 @@ fn policies_diverge_when_the_destination_is_cut_off() {
     assert_eq!(skip.delivered_flows(), 0);
 }
 
+/// The trace oracle replays the crafted fault scenarios: a rerouted flow's
+/// trace shows the detour and still conserves bytes; a skipped flow's
+/// trace proves — against the real topology — that the destination was
+/// genuinely unreachable when the skip fired.
+#[test]
+fn traces_of_crafted_fault_scenarios_pass_the_oracle() {
+    // Detour scenario: ring of 8, cable (0,1) cut mid-transfer.
+    let topo = Torus::new(&[8]);
+    let mut b = FlowDagBuilder::new();
+    b.add_flow(NodeId(0), NodeId(1), 1 << 20, &[]);
+    let dag = b.build();
+    let sim = Simulator::new(&topo);
+    let t_cut = sim.run(&dag).unwrap().makespan_seconds / 2.0;
+    let schedule = FaultSchedule::new(cut(&topo, t_cut, 0, 1)).unwrap();
+
+    for (policy, restarted) in [
+        (RecoveryPolicy::RerouteResume, false),
+        (RecoveryPolicy::RerouteRestart, true),
+    ] {
+        let mut sink = VecSink::new();
+        sim.run_with_faults_traced(&dag, &schedule, policy, &mut sink)
+            .unwrap();
+        let events = sink.into_events();
+        let summary =
+            check_trace_with_topology(&events, &topo).unwrap_or_else(|v| panic!("{policy:?}: {v}"));
+        assert_eq!(summary.flows_finished, 1, "{policy:?}");
+        assert_eq!(summary.flows_skipped, 0, "{policy:?}");
+        assert_eq!(summary.reroutes, 1, "{policy:?}");
+        // The reroute event records the policy's restart semantics and the
+        // detour itself: a 7-hop path instead of the direct cable.
+        let detour = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::RerouteTaken {
+                    path, restarted, ..
+                } => Some((path.len(), *restarted)),
+                _ => None,
+            })
+            .expect("no reroute_taken event");
+        assert_eq!(detour, (7 + 2, restarted), "{policy:?}");
+    }
+
+    // Isolation scenario: ring of 4, both cables into the destination cut.
+    let topo = Torus::new(&[4]);
+    let mut b = FlowDagBuilder::new();
+    b.add_flow(NodeId(0), NodeId(2), 1 << 20, &[]);
+    let dag = b.build();
+    let sim = Simulator::new(&topo);
+    let t_cut = sim.run(&dag).unwrap().makespan_seconds / 2.0;
+    let mut events = cut(&topo, t_cut, 1, 2);
+    events.extend(cut(&topo, t_cut, 3, 2));
+    let schedule = FaultSchedule::new(events).unwrap();
+
+    let mut sink = VecSink::new();
+    let report = sim
+        .run_with_faults_traced(&dag, &schedule, RecoveryPolicy::SkipUnreachable, &mut sink)
+        .unwrap();
+    let events = sink.into_events();
+    let summary = check_trace_with_topology(&events, &topo).unwrap_or_else(|v| panic!("{v}"));
+    assert_eq!(summary.flows_skipped, 1);
+    assert_eq!(summary.flows_finished, 0);
+    assert_eq!(report.skipped_flow_ids, vec![0]);
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::FlowSkipped { flow: 0, .. })));
+    // Four cable-down events must all appear in the trace before the skip.
+    let faults = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::FaultApplied { .. }))
+        .count();
+    assert_eq!(faults, 4);
+}
+
 #[test]
 fn campaign_is_deterministic_and_faithful_at_zero_rate() {
     let spec = ResilienceCampaignSpec {

@@ -10,9 +10,9 @@
 //!
 //! with the container attributes `#[serde(tag = "...")]`,
 //! `#[serde(rename_all = "snake_case")]`, `#[serde(transparent)]` and the
-//! field attributes `#[serde(default)]` / `#[serde(default = "path")]`.
-//! Anything else fails the build with a clear message rather than silently
-//! misbehaving.
+//! field attributes `#[serde(default)]` / `#[serde(default = "path")]` /
+//! `#[serde(skip_serializing_if = "path")]`. Anything else fails the build
+//! with a clear message rather than silently misbehaving.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -52,6 +52,9 @@ enum DefaultKind {
 struct Field {
     name: String,
     default: DefaultKind,
+    /// Predicate path: the field is omitted from serialized output when
+    /// `path(&value)` is true (mirrors serde's `skip_serializing_if`).
+    skip_serializing_if: Option<String>,
 }
 
 #[derive(Debug)]
@@ -106,7 +109,8 @@ fn expand(input: TokenStream, dir: Direction) -> TokenStream {
 fn parse_attrs(tokens: &[TokenTree], at: &mut usize) -> Result<ContainerAttrs, String> {
     let mut attrs = ContainerAttrs::default();
     let mut field_default = DefaultKind::None;
-    parse_attrs_inner(tokens, at, &mut attrs, &mut field_default)?;
+    let mut field_skip = None;
+    parse_attrs_inner(tokens, at, &mut attrs, &mut field_default, &mut field_skip)?;
     Ok(attrs)
 }
 
@@ -115,6 +119,7 @@ fn parse_attrs_inner(
     at: &mut usize,
     attrs: &mut ContainerAttrs,
     default: &mut DefaultKind,
+    skip: &mut Option<String>,
 ) -> Result<(), String> {
     while *at + 1 < tokens.len() {
         let TokenTree::Punct(p) = &tokens[*at] else {
@@ -137,7 +142,7 @@ fn parse_attrs_inner(
         let Some(TokenTree::Group(args)) = inner.get(1) else {
             return Err("expected serde(...)".into());
         };
-        parse_serde_args(args.stream(), attrs, default)?;
+        parse_serde_args(args.stream(), attrs, default, skip)?;
     }
     Ok(())
 }
@@ -147,6 +152,7 @@ fn parse_serde_args(
     stream: TokenStream,
     attrs: &mut ContainerAttrs,
     default: &mut DefaultKind,
+    skip: &mut Option<String>,
 ) -> Result<(), String> {
     let toks: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
@@ -177,6 +183,7 @@ fn parse_serde_args(
             ("transparent", None) => attrs.transparent = true,
             ("default", None) => *default = DefaultKind::Trait,
             ("default", Some(path)) => *default = DefaultKind::Path(path),
+            ("skip_serializing_if", Some(path)) => *skip = Some(path),
             (other, _) => return Err(format!("unsupported serde attribute `{other}`")),
         }
         // Skip a trailing comma.
@@ -279,7 +286,8 @@ fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     while at < toks.len() {
         let mut attrs = ContainerAttrs::default();
         let mut default = DefaultKind::None;
-        parse_attrs_inner(&toks, &mut at, &mut attrs, &mut default)?;
+        let mut skip = None;
+        parse_attrs_inner(&toks, &mut at, &mut attrs, &mut default, &mut skip)?;
         if at >= toks.len() {
             break;
         }
@@ -313,7 +321,11 @@ fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             }
             at += 1;
         }
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default,
+            skip_serializing_if: skip,
+        });
     }
     Ok(fields)
 }
@@ -325,7 +337,8 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
     while at < toks.len() {
         let mut attrs = ContainerAttrs::default();
         let mut default = DefaultKind::None;
-        parse_attrs_inner(&toks, &mut at, &mut attrs, &mut default)?;
+        let mut skip = None;
+        parse_attrs_inner(&toks, &mut at, &mut attrs, &mut default, &mut skip)?;
         if at >= toks.len() {
             break;
         }
@@ -397,10 +410,16 @@ fn gen_serialize(input: &Input) -> Result<String, String> {
         Shape::Struct(fields) => {
             let mut s = String::from("{ let mut __m = ::serde::Map::new();\n");
             for f in fields {
-                s.push_str(&format!(
+                let insert = format!(
                     "__m.insert({:?}, ::serde::Serialize::to_value(&self.{}));\n",
                     f.name, f.name
-                ));
+                );
+                match &f.skip_serializing_if {
+                    Some(path) => {
+                        s.push_str(&format!("if !{path}(&self.{}) {{ {insert}}}\n", f.name))
+                    }
+                    None => s.push_str(&insert),
+                }
             }
             s.push_str("::serde::Value::Object(__m) }");
             s
@@ -442,10 +461,17 @@ fn gen_serialize(input: &Input) -> Result<String, String> {
                             ));
                         }
                         for f in fields {
-                            arm.push_str(&format!(
+                            let insert = format!(
                                 "__m.insert({n:?}, ::serde::Serialize::to_value({n}));\n",
                                 n = f.name
-                            ));
+                            );
+                            match &f.skip_serializing_if {
+                                Some(path) => arm.push_str(&format!(
+                                    "if !{path}({n}) {{ {insert}}}\n",
+                                    n = f.name
+                                )),
+                                None => arm.push_str(&insert),
+                            }
                         }
                         if tag.is_none() {
                             // Externally tagged: {"Variant": {fields...}}
