@@ -85,10 +85,12 @@ fn main() {
 
 fn print_help() {
     eprintln!("usage:");
-    eprintln!("  exaflow run <config.json | -> [--trace <file.jsonl>]");
+    eprintln!("  exaflow run <config.json | -> [--trace <file.jsonl>] [--threads <n>]");
     eprintln!("                                  run an experiment, print the result as JSON;");
     eprintln!("                                  --trace streams engine events to a JSONL file");
-    eprintln!("                                  and attaches engine metrics to the result");
+    eprintln!("                                  and attaches engine metrics to the result;");
+    eprintln!("                                  --threads sets the intra-run solver pool size");
+    eprintln!("                                  (results are bit-identical at every count)");
     eprintln!("  exaflow sweep <suite.json | -> [--threads <n>] [--metrics]");
     eprintln!("                                  run a JSON array of configs in parallel,");
     eprintln!("                                  print per-config results + suite metrics;");
@@ -132,6 +134,7 @@ struct ErrorOutput {
 fn cmd_run(args: &[String]) -> i32 {
     let mut path: Option<&str> = None;
     let mut trace_path: Option<&str> = None;
+    let mut solver_threads: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -142,6 +145,13 @@ fn cmd_run(args: &[String]) -> i32 {
                     return 1;
                 }
             },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => solver_threads = Some(n),
+                _ => {
+                    eprintln!("error: --threads needs a positive integer");
+                    return 1;
+                }
+            },
             other if path.is_none() => path = Some(other),
             other => {
                 eprintln!("error: unexpected argument '{other}'");
@@ -149,13 +159,16 @@ fn cmd_run(args: &[String]) -> i32 {
             }
         }
     }
-    let cfg = match read_config(path) {
+    let mut cfg = match read_config(path) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
         }
     };
+    if let Some(n) = solver_threads {
+        cfg.sim.solver_threads = n;
+    }
     let outcome = match trace_path {
         Some(tp) => {
             let file = match std::fs::File::create(tp) {

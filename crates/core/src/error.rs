@@ -38,6 +38,18 @@ pub enum ExperimentError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The workload spec's own parameters are unusable (non-power-of-two
+    /// AllReduce, a zero grid dimension, a probability outside [0, 1], …).
+    InvalidWorkload {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The mapping spec cannot place this workload on this topology
+    /// (zero stride, stride pushing tasks past the last endpoint, …).
+    InvalidMapping {
+        /// Human-readable reason.
+        reason: String,
+    },
     /// The workload needs more endpoints than the topology provides.
     TooManyTasks {
         /// Tasks the workload places.
@@ -77,6 +89,12 @@ impl fmt::Display for ExperimentError {
             }
             ExperimentError::InvalidCampaign { reason } => {
                 write!(f, "invalid resilience campaign: {reason}")
+            }
+            ExperimentError::InvalidWorkload { reason } => {
+                write!(f, "invalid workload: {reason}")
+            }
+            ExperimentError::InvalidMapping { reason } => {
+                write!(f, "invalid mapping: {reason}")
             }
             ExperimentError::TooManyTasks {
                 tasks,

@@ -25,6 +25,28 @@ pub enum MappingSpec {
 }
 
 impl MappingSpec {
+    /// Whether this placement can host `tasks` tasks on `endpoints`
+    /// endpoints, with the reason when it cannot. `tasks <= endpoints` is
+    /// assumed (checked separately as [`ExperimentError::TooManyTasks`]);
+    /// this covers the constraints [`build`](Self::build) would otherwise
+    /// `assert!` on.
+    pub fn validate(&self, tasks: usize, endpoints: usize) -> Result<(), String> {
+        match *self {
+            MappingSpec::Linear | MappingSpec::Random { .. } => Ok(()),
+            MappingSpec::Strided { stride } => {
+                if stride == 0 {
+                    return Err("stride must be >= 1".into());
+                }
+                match tasks.checked_mul(stride) {
+                    Some(span) if span <= endpoints => Ok(()),
+                    _ => Err(format!(
+                        "{tasks} tasks with stride {stride} exceed {endpoints} endpoints"
+                    )),
+                }
+            }
+        }
+    }
+
     /// Materialise the mapping table.
     pub fn build(&self, tasks: usize, endpoints: usize) -> TaskMapping {
         match *self {
@@ -155,6 +177,11 @@ pub fn run_experiment_traced(
     // Reject a malformed engine config before paying for topology
     // construction; the engine re-checks at `run` as a second line.
     cfg.sim.validate().map_err(ExperimentError::from)?;
+    // Likewise reject a workload whose generator would panic: the specs
+    // validate their own parameters before any DAG is built.
+    cfg.workload
+        .validate()
+        .map_err(|reason| ExperimentError::InvalidWorkload { reason })?;
     let built = cfg.topology.build()?;
     let (mut cables_requested, mut cables_applied) = (0u64, 0u64);
     let topo: Box<dyn Topology> = match cfg.failures {
@@ -191,6 +218,9 @@ pub fn run_experiment_traced(
             topology: topo.name(),
         });
     }
+    cfg.mapping
+        .validate(tasks, topo.num_endpoints())
+        .map_err(|reason| ExperimentError::InvalidMapping { reason })?;
     let mapping = cfg.mapping.build(tasks, topo.num_endpoints());
     let dag = cfg.workload.generate(&mapping);
     let started = std::time::Instant::now();

@@ -453,6 +453,67 @@ mod tests {
         assert_eq!(percentile(&[7.0], 0.5), 7.0);
     }
 
+    /// Independent nearest-rank oracle: walk the sorted slice and return
+    /// the first element whose cumulative count reaches `q`'s share. Uses
+    /// the same `q * n` product as `percentile` (a division would round
+    /// differently), but replaces the ceil-and-index arithmetic with a
+    /// linear scan.
+    fn nearest_rank_oracle(sorted: &[f64], q: f64) -> f64 {
+        let n = sorted.len() as f64;
+        for (i, &v) in sorted.iter().enumerate() {
+            if (i + 1) as f64 >= q * n {
+                return v;
+            }
+        }
+        *sorted.last().unwrap()
+    }
+
+    #[test]
+    fn percentile_boundaries_match_the_oracle() {
+        for v in [
+            vec![7.0],
+            vec![1.0, 2.0],
+            vec![1.0, 1.0, 1.0, 2.0], // ties
+            vec![-3.0, 0.0, 0.0, 5.0, 5.0],
+        ] {
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(
+                    percentile(&v, q).to_bits(),
+                    nearest_rank_oracle(&v, q).to_bits(),
+                    "v={v:?} q={q}"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn percentile_matches_nearest_rank_oracle(
+            values in proptest::collection::vec(-1e9f64..1e9, 1..40),
+            q in 0.0f64..1.0
+        ) {
+            let mut values = values;
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let got = percentile(&values, q);
+            let want = nearest_rank_oracle(&values, q);
+            proptest::prop_assert_eq!(got.to_bits(), want.to_bits());
+            // The result is always an element of the input.
+            proptest::prop_assert!(values.iter().any(|&v| v.to_bits() == got.to_bits()));
+        }
+
+        #[test]
+        fn percentile_is_monotone_in_q(
+            values in proptest::collection::vec(-1e9f64..1e9, 1..40),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0
+        ) {
+            let mut values = values;
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            proptest::prop_assert!(percentile(&values, lo) <= percentile(&values, hi));
+        }
+    }
+
     #[test]
     fn schedule_seed_varies_by_rate_and_replica_only() {
         let a = schedule_seed(1, 0, 0);

@@ -12,6 +12,28 @@ fn invalid(reason: impl Into<String>) -> ExperimentError {
         reason: reason.into(),
     }
 }
+
+/// Hard sanity cap on node counts derived from spec arithmetic: anything
+/// this side of a billion routers is a typo, not an exascale design point,
+/// and catching it here keeps `build` panic-free on adversarial configs.
+const MAX_ENDPOINTS: usize = 1 << 30;
+
+/// Product of a dimension vector, rejecting zero dimensions and overflow
+/// with a typed error instead of panicking (or silently wrapping) in the
+/// constructor.
+fn checked_product(dims: &[u32], what: &str) -> Result<usize, ExperimentError> {
+    let mut total: usize = 1;
+    for &d in dims {
+        if d == 0 {
+            return Err(invalid(format!("{what} dimensions must be positive")));
+        }
+        total = total
+            .checked_mul(d as usize)
+            .filter(|&t| t <= MAX_ENDPOINTS)
+            .ok_or_else(|| invalid(format!("{what} dimensions {dims:?} overflow")))?;
+    }
+    Ok(total)
+}
 use serde::{Deserialize, Serialize};
 
 /// Every topology of the study, as tagged configuration data.
@@ -86,12 +108,26 @@ impl TopologySpec {
                 if dims.is_empty() {
                     return Err(invalid("torus needs at least one dimension"));
                 }
+                checked_product(dims, "torus")?;
                 Ok(Box::new(Torus::new(dims)))
             }
             TopologySpec::Fattree { k, n, endpoints } => {
-                let eps = endpoints.unwrap_or((*k as usize).pow(*n));
                 if *k < 2 || *n < 1 {
                     return Err(invalid(format!("invalid fattree parameters k={k}, n={n}")));
+                }
+                let full = (*k as usize)
+                    .checked_pow(*n)
+                    .filter(|&e| e <= MAX_ENDPOINTS)
+                    .ok_or_else(|| {
+                        invalid(format!(
+                            "fattree k={k}, n={n}: k^n endpoint count overflows"
+                        ))
+                    })?;
+                let eps = endpoints.unwrap_or(full);
+                if eps == 0 || eps > full {
+                    return Err(invalid(format!(
+                        "fattree k={k}, n={n} hosts 1..={full} endpoints, got {eps}"
+                    )));
                 }
                 Ok(Box::new(KAryTree::with_endpoints(*k, *n, eps)))
             }
@@ -103,8 +139,17 @@ impl TopologySpec {
                 if dims.is_empty() || *ports_per_router == 0 {
                     return Err(invalid("invalid GHC parameters"));
                 }
-                let routers: usize = dims.iter().map(|&d| d as usize).product();
-                let eps = endpoints.unwrap_or(routers * *ports_per_router as usize);
+                let routers = checked_product(dims, "GHC")?;
+                let full = routers
+                    .checked_mul(*ports_per_router as usize)
+                    .filter(|&e| e <= MAX_ENDPOINTS)
+                    .ok_or_else(|| invalid("GHC endpoint count overflows"))?;
+                let eps = endpoints.unwrap_or(full);
+                if eps == 0 || eps > full {
+                    return Err(invalid(format!(
+                        "GHC {dims:?} x{ports_per_router} hosts 1..={full} endpoints, got {eps}"
+                    )));
+                }
                 Ok(Box::new(GeneralizedHypercube::with_endpoints(
                     dims,
                     *ports_per_router,
@@ -121,6 +166,18 @@ impl TopologySpec {
                     .ok_or_else(|| invalid(format!("u must be 1, 2, 4 or 8, got {u}")))?;
                 if *t < 2 {
                     return Err(invalid(format!("subtorus size t={t} must be >= 2")));
+                }
+                if *subtori == 0 {
+                    return Err(invalid("need at least one subtorus"));
+                }
+                let per_subtorus = (*t as usize)
+                    .checked_pow(3)
+                    .filter(|&e| e <= MAX_ENDPOINTS)
+                    .ok_or_else(|| invalid(format!("subtorus size t={t} overflows")))?;
+                if (*subtori as u128) * (per_subtorus as u128) > MAX_ENDPOINTS as u128 {
+                    return Err(invalid(format!(
+                        "{subtori} subtori of t={t} overflow the endpoint count"
+                    )));
                 }
                 Ok(Box::new(Nested::new(*upper, *subtori, *t, rule)))
             }

@@ -5,6 +5,7 @@ use crate::dag::{FlowDag, FlowId};
 use crate::error::SimError;
 use crate::fault::{FaultAction, FaultSchedule, RecoveryPolicy};
 use crate::maxmin::MaxMinSolver;
+use crate::pool::{SharedSlice, WorkerPool};
 use crate::report::SimReport;
 use crate::trace::{MetricsRegistry, TraceEvent, TraceSink};
 use exaflow_netgraph::{LinkId, NodeId};
@@ -14,6 +15,10 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Routes a prefetch batch computed ahead of admission, keyed by endpoint
+/// pair; failed routes are kept so admission re-reports the same error.
+type PrefetchedRoutes = HashMap<(u32, u32), Result<Arc<[u32]>, SimError>>;
 
 /// Engine configuration.
 ///
@@ -82,6 +87,16 @@ pub struct SimConfig {
     /// bit-identical to builds predating the trace subsystem.
     #[serde(default)]
     pub trace: bool,
+    /// Worker threads for the in-run parallel phases (water-filling
+    /// bottleneck scan / rate subtraction, batched route construction).
+    /// `0` (the default) means auto: the `EXAFLOW_THREADS` environment
+    /// variable if set, otherwise the machine's available parallelism;
+    /// `1` runs the exact single-threaded code path with no pool at all.
+    /// Reports and traces are **bit-identical** at every value — threads
+    /// change wall-clock time, never physics (enforced by the
+    /// equivalence suites).
+    #[serde(default)]
+    pub solver_threads: usize,
 }
 
 fn default_true() -> bool {
@@ -137,6 +152,13 @@ impl SimConfig {
         }
         Ok(())
     }
+
+    /// The thread count a run with this config actually uses: the
+    /// configured [`SimConfig::solver_threads`], with `0` resolved through
+    /// `EXAFLOW_THREADS` / available parallelism (always at least 1).
+    pub fn effective_solver_threads(&self) -> usize {
+        crate::pool::resolve_threads(self.solver_threads)
+    }
 }
 
 impl Default for SimConfig {
@@ -155,6 +177,7 @@ impl Default for SimConfig {
             coalesce_flows: true,
             incremental_full_threshold: 0.5,
             trace: false,
+            solver_threads: 0,
         }
     }
 }
@@ -184,6 +207,8 @@ struct SimConfigUnchecked {
     incremental_full_threshold: f64,
     #[serde(default)]
     trace: bool,
+    #[serde(default)]
+    solver_threads: usize,
 }
 
 impl serde::de::Deserialize for SimConfig {
@@ -203,11 +228,88 @@ impl serde::de::Deserialize for SimConfig {
             coalesce_flows: raw.coalesce_flows,
             incremental_full_threshold: raw.incremental_full_threshold,
             trace: raw.trace,
+            solver_threads: raw.solver_threads,
         };
         cfg.validate().map_err(serde::de::Error::custom)?;
         Ok(cfg)
     }
 }
+
+/// Bounded `(src, dst) -> path` memo with two-generation eviction.
+///
+/// Inserts land in the `fresh` generation; once it holds half the cap the
+/// previous generation is dropped wholesale and `fresh` becomes `stale`.
+/// A `stale` hit promotes the route back into `fresh`. Total size is thus
+/// bounded by `cap` while recently-used pairs survive — the previous
+/// behaviour (silently refusing inserts at the cap) degraded beyond-cap
+/// workloads to a zero hit rate with no signal. Rotation triggers on an
+/// exact size threshold, so the eviction trajectory is deterministic (no
+/// dependence on `HashMap` iteration order) and — because lookups happen
+/// in the engine's sequential admission order — identical at every
+/// `solver_threads` value.
+struct RouteCache {
+    fresh: HashMap<(u32, u32), Arc<[u32]>>,
+    stale: HashMap<(u32, u32), Arc<[u32]>>,
+    /// Per-generation capacity; 0 disables insertion (`route_cache_cap = 0`).
+    half_cap: usize,
+    hits: u64,
+    evictions: u64,
+}
+
+impl RouteCache {
+    fn new(cap: usize) -> Self {
+        RouteCache {
+            fresh: HashMap::new(),
+            stale: HashMap::new(),
+            half_cap: cap.div_ceil(2),
+            hits: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Cached route for `key`, counting a hit and promoting stale entries.
+    fn get(&mut self, key: (u32, u32)) -> Option<Arc<[u32]>> {
+        if let Some(p) = self.fresh.get(&key) {
+            self.hits += 1;
+            return Some(p.clone());
+        }
+        let p = self.stale.remove(&key)?;
+        self.hits += 1;
+        self.insert(key, p.clone());
+        Some(p)
+    }
+
+    /// Whether `key` is cached, without touching the hit counter (used by
+    /// the route-prefetch planner, which must not perturb accounting).
+    fn contains(&self, key: (u32, u32)) -> bool {
+        self.fresh.contains_key(&key) || self.stale.contains_key(&key)
+    }
+
+    fn insert(&mut self, key: (u32, u32), path: Arc<[u32]>) {
+        if self.half_cap == 0 {
+            return;
+        }
+        if self.fresh.len() >= self.half_cap {
+            self.evictions += self.stale.len() as u64;
+            self.stale = std::mem::take(&mut self.fresh);
+        }
+        self.fresh.insert(key, path);
+    }
+
+    /// Drop every cached path crossing a newly-downed link. Fault purges
+    /// are not evictions: the counter tracks capacity pressure only.
+    fn purge_crossing(&mut self, downed: &[u32]) {
+        self.fresh
+            .retain(|_, p| !p.iter().any(|r| downed.contains(r)));
+        self.stale
+            .retain(|_, p| !p.iter().any(|r| downed.contains(r)));
+    }
+}
+
+/// Smallest activation batch (in distinct uncached endpoint pairs) worth
+/// routing on the worker pool; below this the dispatch handshake costs
+/// more than the routes.
+const ROUTE_PREFETCH_MIN: usize = 32;
 
 /// Total-ordered f64 key for the delayed-activation heap (times are always
 /// finite and non-NaN by construction).
@@ -302,11 +404,14 @@ impl<'a> Simulator<'a> {
     /// * [`RecoveryPolicy::RerouteRestart`] — reroute and retransmit from
     ///   zero; an unreachable destination is [`SimError::Unreachable`].
     ///
-    /// A restored link benefits flows routed after the repair (caches are
-    /// invalidated); flows already rerouted keep their detour. An empty
-    /// schedule reproduces [`Simulator::run`] bit-for-bit. Events scheduled
-    /// after the workload completes never fire; see
-    /// [`SimReport::fault_events_applied`].
+    /// A restored link benefits flows routed over *fresh* endpoint pairs
+    /// after the repair; pairs still in the route cache keep their cached
+    /// detour (retained, not cleared — every cached path avoids all
+    /// currently-down links by construction, so a repair can never make
+    /// one invalid, only suboptimal), and flows already rerouted keep
+    /// their detour. An empty schedule reproduces [`Simulator::run`]
+    /// bit-for-bit. Events scheduled after the workload completes never
+    /// fire; see [`SimReport::fault_events_applied`].
     pub fn run_with_faults(
         &self,
         dag: &FlowDag,
@@ -365,8 +470,21 @@ impl<'a> Simulator<'a> {
         let (succ_offsets, succs) = dag.successors();
 
         let mut solver = MaxMinSolver::new(self.resource_capacities())?;
-        let mut route_cache: HashMap<(u32, u32), Arc<[u32]>> = HashMap::new();
+        let mut route_cache = RouteCache::new(self.cfg.route_cache_cap);
         let mut overlay = FaultOverlay::new(self.topo);
+
+        // In-run parallelism: one persistent pool per run, shared by the
+        // solver's water-filling phases and the route-prefetch batches.
+        // `threads == 1` (the resolved default on a single-core host)
+        // creates no pool and takes the exact sequential code path.
+        let threads = self.cfg.effective_solver_threads();
+        let worker_pool = (threads > 1).then(|| WorkerPool::new(threads));
+        let pool = worker_pool.as_ref();
+        // Routes computed ahead of admission by a prefetch batch, keyed by
+        // endpoint pair; consumed (or invalidated by fault churn) before
+        // any overlay state can drift from what the workers saw.
+        let mut prefetched: PrefetchedRoutes = HashMap::new();
+        let mut parallel_route_batches = 0u64;
         let fault_events = schedule.events();
         let mut fault_idx = 0usize;
         let mut fault_events_applied = 0u64;
@@ -474,11 +592,75 @@ impl<'a> Simulator<'a> {
             }};
         }
 
+        // Route the batch of pending activations across the worker pool.
+        // Only runs with a fault-free overlay: with `num_down() == 0` the
+        // overlay defers to the topology's pure deterministic route (or,
+        // for statically-degraded topologies, a BFS over a fixed blocked
+        // set), so a fresh per-worker overlay reproduces the main
+        // overlay's answer exactly. Under active faults the overlay's
+        // reroute memo is stateful and routing stays sequential. The
+        // admission loop itself stays sequential either way, so the cache
+        // trajectory, hit counters, trace order, and error surfacing are
+        // identical at every thread count.
+        macro_rules! prefetch_routes {
+            () => {
+                if let Some(pool) = pool {
+                    if overlay.num_down() == 0 && ready.len() >= ROUTE_PREFETCH_MIN {
+                        // Dedupe uncached, non-degenerate pairs in
+                        // admission (LIFO) order.
+                        let mut pairs: Vec<(u32, u32)> = Vec::new();
+                        let mut seen: std::collections::HashSet<(u32, u32)> =
+                            std::collections::HashSet::new();
+                        for &f in ready.iter().rev() {
+                            let spec = dag.flow(FlowId(f));
+                            if spec.bytes == 0 || spec.src == spec.dst {
+                                continue;
+                            }
+                            let key = (spec.src, spec.dst);
+                            if !route_cache.contains(key)
+                                && !prefetched.contains_key(&key)
+                                && seen.insert(key)
+                            {
+                                pairs.push(key);
+                            }
+                        }
+                        if pairs.len() >= ROUTE_PREFETCH_MIN {
+                            parallel_route_batches += 1;
+                            let nthreads = pool.threads();
+                            let mut results: Vec<Option<Result<Arc<[u32]>, SimError>>> =
+                                vec![None; pairs.len()];
+                            {
+                                let slots = SharedSlice::new(&mut results[..]);
+                                let pairs: &[(u32, u32)] = &pairs;
+                                pool.run(|w| {
+                                    let mut scratch: Vec<LinkId> = Vec::new();
+                                    let mut local = FaultOverlay::new(self.topo);
+                                    for (i, &(src, dst)) in pairs.iter().enumerate() {
+                                        if i % nthreads != w {
+                                            continue;
+                                        }
+                                        let r = self.build_path(&mut local, src, dst, &mut scratch);
+                                        // SAFETY: index i has exactly one
+                                        // owning worker.
+                                        unsafe { *slots.get_mut(i) = Some(r) };
+                                    }
+                                });
+                            }
+                            for (key, res) in pairs.into_iter().zip(results) {
+                                prefetched.insert(key, res.expect("routed by its owner"));
+                            }
+                        }
+                    }
+                }
+            };
+        }
+
         // Activation: instantly retire degenerate flows (zero bytes or
         // self-traffic) cascading; queue real flows into the active set or,
         // under the latency model, into the delayed heap.
         macro_rules! activate_ready {
             () => {
+                prefetch_routes!();
                 while let Some(f) = ready.pop() {
                     let spec = dag.flow(FlowId(f));
                     emit!(TraceEvent::FlowActivated {
@@ -495,39 +677,48 @@ impl<'a> Simulator<'a> {
                         continue;
                     }
                     let cached = if self.cfg.cache_routes {
-                        route_cache.get(&(spec.src, spec.dst)).cloned()
+                        route_cache.get((spec.src, spec.dst))
                     } else {
                         None
                     };
                     let path: Arc<[u32]> = match cached {
                         Some(p) => p,
-                        None => match self.build_path(
-                            &mut overlay,
-                            spec.src,
-                            spec.dst,
-                            &mut path_scratch,
-                        ) {
-                            Ok(p) => {
-                                if self.cfg.cache_routes
-                                    && route_cache.len() < self.cfg.route_cache_cap
-                                {
-                                    route_cache.insert((spec.src, spec.dst), p.clone());
+                        None => {
+                            // A prefetch batch may have routed this pair
+                            // already; the map holds exactly what
+                            // `build_path` would return here (fault churn
+                            // clears it), so consuming it preserves the
+                            // sequential admission semantics verbatim.
+                            let built = match prefetched.remove(&(spec.src, spec.dst)) {
+                                Some(r) => r,
+                                None => self.build_path(
+                                    &mut overlay,
+                                    spec.src,
+                                    spec.dst,
+                                    &mut path_scratch,
+                                ),
+                            };
+                            match built {
+                                Ok(p) => {
+                                    if self.cfg.cache_routes {
+                                        route_cache.insert((spec.src, spec.dst), p.clone());
+                                    }
+                                    p
                                 }
-                                p
+                                // A flow activating toward a destination the
+                                // current faults cut off is exactly what the skip
+                                // policy drops — not only flows already in flight.
+                                Err(SimError::Unreachable { .. })
+                                    if matches!(policy, RecoveryPolicy::SkipUnreachable) =>
+                                {
+                                    emit!(TraceEvent::FlowSkipped { t: now, flow: f });
+                                    retire!(f);
+                                    skipped_flow_ids.push(f);
+                                    continue;
+                                }
+                                Err(e) => return Err(e),
                             }
-                            // A flow activating toward a destination the
-                            // current faults cut off is exactly what the skip
-                            // policy drops — not only flows already in flight.
-                            Err(SimError::Unreachable { .. })
-                                if matches!(policy, RecoveryPolicy::SkipUnreachable) =>
-                            {
-                                emit!(TraceEvent::FlowSkipped { t: now, flow: f });
-                                retire!(f);
-                                skipped_flow_ids.push(f);
-                                continue;
-                            }
-                            Err(e) => return Err(e),
-                        },
+                        }
                     };
                     if latency_model {
                         // Physical hops = path minus the two NIC resources.
@@ -591,12 +782,23 @@ impl<'a> Simulator<'a> {
                         }
                     }
                 }
-                if restored {
-                    // A repaired link may offer better routes than cached
-                    // detours; start routing from scratch.
-                    route_cache.clear();
-                } else if !downed.is_empty() {
-                    route_cache.retain(|_, p| !p.iter().any(|r| downed.contains(r)));
+                if !downed.is_empty() {
+                    route_cache.purge_crossing(&downed);
+                }
+                // Repair retention invariant: every cached path avoids all
+                // currently-down links (down events purge the crossers,
+                // inserts route around the live down-set), and a repair
+                // only *shrinks* the down-set — so retained entries remain
+                // valid routes. They may keep a detour where the repaired
+                // link would now give a shorter path; flows on fresh pairs
+                // route through the repaired link immediately. Clearing
+                // here (the old behaviour) threw away every warm route on
+                // each up-event in a long-running campaign.
+                if restored || !downed.is_empty() {
+                    // Prefetched routes were computed against the previous
+                    // overlay; drop them so consumption can never lag the
+                    // down-set.
+                    prefetched.clear();
                 }
                 if use_entries && (restored || !downed.is_empty()) {
                     // Fault churn perturbs the sharing graph beyond the
@@ -757,9 +959,10 @@ impl<'a> Simulator<'a> {
             rates.resize(active_ids.len(), 0.0);
             let solve_start = if tracing { Some(Instant::now()) } else { None };
             if use_entries {
-                solver.recompute(
+                solver.recompute_with(
                     self.cfg.solver_incremental,
                     self.cfg.incremental_full_threshold,
+                    pool,
                 );
                 for (i, &e) in active_entries.iter().enumerate() {
                     rates[i] = solver.entry_rate(e);
@@ -931,7 +1134,17 @@ impl<'a> Simulator<'a> {
             fault_events_applied,
             rate_recomputes: solver.rate_recomputes,
             flows_coalesced: solver.flows_coalesced,
-            metrics: metrics.map(|m| m.snapshot()),
+            solver_threads: threads as u64,
+            parallel_solves: solver.parallel_passes,
+            parallel_route_batches,
+            route_cache_hits: route_cache.hits,
+            route_cache_evictions: route_cache.evictions,
+            metrics: metrics.map(|m| {
+                let mut snap = m.snapshot();
+                snap.solver_threads = threads as u64;
+                snap.parallel_solves = solver.parallel_passes;
+                snap
+            }),
         })
     }
 
@@ -1300,6 +1513,100 @@ mod tests {
                 .makespan_seconds
         };
         assert_eq!(run(true), run(false));
+    }
+
+    /// Regression: the cache used to silently refuse inserts once full, so
+    /// a workload with more distinct pairs than `route_cache_cap` degraded
+    /// to a zero hit rate for every pair admitted after the cap. The
+    /// generational cache keeps the most recent pairs hot and reports the
+    /// churn.
+    #[test]
+    fn route_cache_keeps_hitting_beyond_its_cap() {
+        let topo = Torus::new(&[4, 4]);
+        let mut b = FlowDagBuilder::new();
+        // Round 1: eight distinct pairs, double the cap of 4. The ready
+        // stack admits a batch highest-flow-first, so flows 0 and 1 carry
+        // the freshest generation's pairs.
+        let mut round1 = vec![];
+        for i in 0..8u32 {
+            round1.push(b.add_flow(NodeId(i), NodeId((i + 5) % 16), mb(1), &[]));
+        }
+        // Round 2: re-request the two freshest pairs. With the old
+        // stop-inserting cache these were never stored and always missed.
+        b.add_flow(NodeId(0), NodeId(5), mb(1), &round1);
+        b.add_flow(NodeId(1), NodeId(6), mb(1), &round1);
+        let dag = b.build();
+        let cfg = SimConfig {
+            route_cache_cap: 4,
+            ..SimConfig::default()
+        };
+        let r = Simulator::with_config(&topo, cfg).run(&dag).unwrap();
+        // half_cap = 2: inserts 0..8 rotate three times, the last two
+        // rotations each retiring a full stale generation of 2.
+        assert_eq!(r.route_cache_evictions, 4);
+        assert_eq!(r.route_cache_hits, 2);
+
+        // Capacity pressure must never change physics.
+        let unbounded = Simulator::with_config(&topo, SimConfig::default())
+            .run(&dag)
+            .unwrap();
+        assert_eq!(r.makespan_seconds, unbounded.makespan_seconds);
+        assert_eq!(unbounded.route_cache_evictions, 0);
+    }
+
+    /// Regression: link repair used to clear the whole route cache, while
+    /// link-down purged surgically. Invariant now: every cached path avoids
+    /// every currently-down link, and repair only shrinks the down-set, so
+    /// repair retains the cache verbatim. Retained detours stay in use for
+    /// cached pairs (documented as possibly suboptimal); fresh pairs route
+    /// through the repaired link immediately.
+    #[test]
+    fn link_repair_retains_cached_detours() {
+        let topo = Torus::new(&[4]);
+        // Per-hop latency makes path length observable in the makespan.
+        let cfg = |cache: bool| SimConfig {
+            per_hop_latency_s: 1e-6,
+            cache_routes: cache,
+            ..SimConfig::default()
+        };
+        // A fills time; B (0 -> 1) activates during the outage and caches
+        // the 3-hop detour 0-3-2-1; C (0 -> 1) activates after the repair.
+        let mut b = FlowDagBuilder::new();
+        let a = b.add_flow(NodeId(2), NodeId(3), mb(1), &[]);
+        let bf = b.add_flow(NodeId(0), NodeId(1), mb(1), &[a]);
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[bf]);
+        let dag = b.build();
+        let step = xfer(mb(1), 10.0 * GBPS);
+        let mut events = cable_events(topo.network(), 0.0, 0, 1, FaultAction::Down);
+        events.extend(cable_events(
+            topo.network(),
+            1.5 * step,
+            0,
+            1,
+            FaultAction::Up,
+        ));
+        let schedule = FaultSchedule::new(events).unwrap();
+
+        let cached = Simulator::with_config(&topo, cfg(true))
+            .run_with_faults(&dag, &schedule, RecoveryPolicy::RerouteResume)
+            .unwrap();
+        // C hits B's retained detour — the only cache hit in the run.
+        assert_eq!(cached.route_cache_hits, 1);
+        assert_eq!(cached.fault_events_applied, 4);
+
+        let uncached = Simulator::with_config(&topo, cfg(false))
+            .run_with_faults(&dag, &schedule, RecoveryPolicy::RerouteResume)
+            .unwrap();
+        assert_eq!(uncached.route_cache_hits, 0);
+        // Same transfers; C pays 3 hops of head latency on the retained
+        // detour vs 1 hop on the repaired direct route: +2 µs exactly.
+        let delta = cached.makespan_seconds - uncached.makespan_seconds;
+        assert!(
+            (delta - 2e-6).abs() < 1e-12,
+            "cached {} vs uncached {}",
+            cached.makespan_seconds,
+            uncached.makespan_seconds
+        );
     }
 
     #[test]

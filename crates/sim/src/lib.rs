@@ -34,6 +34,11 @@
 //!   link-down/link-up events is consumed alongside completion events;
 //!   interrupted flows are aborted, dropped, or rerouted (resuming or
 //!   restarting the transfer) per the configured [`RecoveryPolicy`].
+//! * **Intra-run parallelism** ([`pool`], off at `solver_threads = 1`):
+//!   a persistent [`WorkerPool`] parallelises the water-filling bottleneck
+//!   scan / rate subtraction and batches route construction at activation
+//!   events, partitioned statically so every thread count produces
+//!   bit-identical reports and traces (see [`SimConfig::solver_threads`]).
 //! * **Event tracing + metrics** ([`trace`], zero-cost when off): a traced
 //!   run streams every state transition to a [`TraceSink`] and aggregates
 //!   counters/histograms into [`SimReport::metrics`]; the pure
@@ -46,6 +51,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod maxmin;
+pub mod pool;
 pub mod report;
 pub mod trace;
 pub mod trace_check;
@@ -54,6 +60,7 @@ pub use dag::{FlowDag, FlowDagBuilder, FlowId, FlowSpec};
 pub use engine::{SimConfig, Simulator};
 pub use error::SimError;
 pub use fault::{FaultAction, FaultEvent, FaultSchedule, FaultScheduleSpec, RecoveryPolicy};
+pub use pool::WorkerPool;
 pub use report::SimReport;
 pub use trace::{
     parse_jsonl, Histogram, JsonlSink, MetricsRegistry, MetricsSnapshot, TraceEvent, TraceSink,

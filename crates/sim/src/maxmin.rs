@@ -44,11 +44,34 @@
 //! the last recompute; [`MaxMinSolver::invalidate_all`] degrades the next
 //! recompute to a full one (used for fault-overlay churn), as does a dirty
 //! region larger than a caller-chosen fraction of the active set.
+//!
+//! # Parallel water-filling
+//!
+//! [`MaxMinSolver::recompute_with`] accepts a [`WorkerPool`]; passes large
+//! enough to amortise the dispatch run a *round-based* formulation of the
+//! same algorithm (see `waterfill_rounds`): each round scans all live
+//! resources for the globally minimal clamped share (partitioned across
+//! workers), freezes that one bottleneck exactly as the heap loop would,
+//! and applies the rate subtractions sharded by resource owner. Because
+//! the heap also freezes one bottleneck per valid pop — the resource with
+//! the minimal current share, ties to the smallest id — and because every
+//! subtraction within a round uses the *same* share value (making the
+//! subtraction order across entries irrelevant: each resource receives an
+//! identical count of identical f64 subtractions), the rounds produce
+//! **bit-identical** rates and an identical `iterations` count at every
+//! thread count, including 1.
 
 use crate::error::SimError;
+use crate::pool::{SharedSlice, WorkerPool};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
+
+/// Smallest pass (in entries) worth dispatching to the worker pool: below
+/// this the per-round condvar handshakes dwarf the arithmetic and the
+/// sequential heap wins outright. Incremental recomputes of small dirty
+/// components therefore stay on the heap even when a pool is attached.
+pub const PARALLEL_MIN_ENTRIES: usize = 64;
 
 /// Heap entry: min-share ordering with lazy invalidation by version.
 #[derive(Debug, PartialEq)]
@@ -103,6 +126,9 @@ pub struct MaxMinSolver {
     pub full_recomputes: u64,
     /// Statistics: flows absorbed into an existing coalesced entry.
     pub flows_coalesced: u64,
+    /// Statistics: water-filling passes that ran on the round-based
+    /// parallel path (0 without a pool or below the entry threshold).
+    pub parallel_passes: u64,
     /// Entries (weighted flow groups) the most recent pass actually
     /// re-solved — the dirty-component size surfaced in trace events.
     /// Zero when the last recompute found nothing to do.
@@ -170,6 +196,7 @@ impl MaxMinSolver {
             rate_recomputes: 0,
             full_recomputes: 0,
             flows_coalesced: 0,
+            parallel_passes: 0,
             last_pass_entries: 0,
             last_pass_full: false,
             ent_path: Vec::new(),
@@ -409,6 +436,19 @@ impl MaxMinSolver {
     /// full pass. Rates are bit-identical to a from-scratch
     /// [`MaxMinSolver::solve`] over the same flow multiset either way.
     pub fn recompute(&mut self, incremental: bool, full_threshold: f64) {
+        self.recompute_with(incremental, full_threshold, None);
+    }
+
+    /// [`MaxMinSolver::recompute`] with an optional worker pool: passes
+    /// whose entry count reaches the parallel threshold run the
+    /// round-based parallel water-fill (see the module docs), which is
+    /// bit-identical to the sequential heap at every thread count.
+    pub fn recompute_with(
+        &mut self,
+        incremental: bool,
+        full_threshold: f64,
+        pool: Option<&WorkerPool>,
+    ) {
         self.ensure_incremental();
         self.last_pass_entries = 0;
         self.last_pass_full = false;
@@ -419,7 +459,7 @@ impl MaxMinSolver {
             if !self.comp_entries.is_empty() {
                 self.full_recomputes += 1;
                 self.last_pass_full = true;
-                self.waterfill();
+                self.waterfill(pool);
             }
             return;
         }
@@ -494,7 +534,7 @@ impl MaxMinSolver {
             self.full_recomputes += 1;
             self.last_pass_full = true;
         }
-        self.waterfill();
+        self.waterfill(pool);
     }
 
     /// Fill `comp_entries` with every live entry (full-pass work list).
@@ -512,7 +552,12 @@ impl MaxMinSolver {
     /// `res_entries` incidence instead of a per-call CSR; weighted entries
     /// subtract their share once per unit of weight so the floating-point
     /// trajectory matches that many separate flows bit-for-bit.
-    fn waterfill(&mut self) {
+    ///
+    /// With a multi-thread `pool` and at least [`PARALLEL_MIN_ENTRIES`]
+    /// entries, the pass runs the round-based parallel formulation
+    /// ([`MaxMinSolver::waterfill_rounds`]) instead of the heap loop; both
+    /// produce bit-identical rates and iteration counts.
+    fn waterfill(&mut self, pool: Option<&WorkerPool>) {
         self.rate_recomputes += 1;
         let ids = std::mem::take(&mut self.comp_entries);
         self.last_pass_entries = ids.len() as u64;
@@ -546,6 +591,15 @@ impl MaxMinSolver {
                     self.remaining[ri] = self.capacity[ri];
                 }
                 self.count[ri] += w;
+            }
+        }
+
+        if let Some(pool) = pool {
+            if pool.threads() > 1 && ids.len() >= PARALLEL_MIN_ENTRIES {
+                self.parallel_passes += 1;
+                self.waterfill_rounds(pool, total_weight, frozen);
+                self.comp_entries = ids;
+                return;
             }
         }
 
@@ -605,6 +659,135 @@ impl MaxMinSolver {
         self.comp_entries = ids;
     }
 
+    /// Round-based parallel water-fill over the pass the caller already
+    /// counted into `touched`/`remaining`/`count`. One round freezes
+    /// exactly one bottleneck — the live resource with the minimal clamped
+    /// share, ties to the smallest id — which is precisely what one valid
+    /// heap pop of the sequential path does, so rates, `remaining`
+    /// trajectories, and the `iterations` count are bit-identical at every
+    /// thread count (module docs, "Parallel water-filling").
+    fn waterfill_rounds(&mut self, pool: &WorkerPool, total_weight: u64, mut frozen: u64) {
+        let nthreads = pool.threads();
+        let MaxMinSolver {
+            remaining,
+            count,
+            flow_start,
+            touched,
+            iterations,
+            ent_path,
+            ent_weight,
+            ent_rate,
+            res_entries,
+            ..
+        } = self;
+        // `flow_start` doubles as the touched-index lookup (as in `solve`);
+        // a resource's owning worker is its touched index mod the thread
+        // count, so ownership is deterministic and covers every resource
+        // this pass can touch.
+        for (i, &r) in touched.iter().enumerate() {
+            flow_start[r as usize] = i as u32;
+        }
+        // Per-worker live-resource worklists (static split of the
+        // deterministic touched order); workers prune drained resources so
+        // the scan stays proportional to the live set.
+        let mut live: Vec<Vec<u32>> = vec![Vec::new(); nthreads];
+        for (i, &r) in touched.iter().enumerate() {
+            live[i % nthreads].push(r);
+        }
+        let mut mins: Vec<(f64, u32)> = vec![(f64::INFINITY, u32::MAX); nthreads];
+        let mut round: Vec<u32> = Vec::new();
+
+        while frozen < total_weight {
+            // Phase 1: every worker scans (and prunes) its own live list
+            // for the locally minimal (share, id). Reads only.
+            {
+                let live_slots = SharedSlice::new(&mut live[..]);
+                let min_slots = SharedSlice::new(&mut mins[..]);
+                let remaining: &[f64] = remaining;
+                let count: &[u32] = count;
+                pool.run(|w| {
+                    // SAFETY: slot `w` belongs to this worker alone.
+                    let list = unsafe { live_slots.get_mut(w) };
+                    let mut best = (f64::INFINITY, u32::MAX);
+                    list.retain(|&r| {
+                        let ri = r as usize;
+                        if count[ri] == 0 {
+                            return false;
+                        }
+                        let share = (remaining[ri] / count[ri] as f64).max(0.0);
+                        if share < best.0 || (share == best.0 && r < best.1) {
+                            best = (share, r);
+                        }
+                        true
+                    });
+                    unsafe { *min_slots.get_mut(w) = best };
+                });
+            }
+            let (mut share, mut bottleneck) = (f64::INFINITY, u32::MAX);
+            for &(s, r) in &mins {
+                if s < share || (s == share && r < bottleneck) {
+                    share = s;
+                    bottleneck = r;
+                }
+            }
+            if bottleneck == u32::MAX {
+                break; // numerically everything frozen
+            }
+            *iterations += 1;
+
+            // Phase 2 (coordinator): freeze every unfrozen entry crossing
+            // the bottleneck, in incidence order — the order the heap's
+            // freeze loop uses.
+            round.clear();
+            for &e in &res_entries[bottleneck as usize] {
+                let ei = e as usize;
+                if ent_rate[ei] >= 0.0 {
+                    continue; // already frozen by an earlier bottleneck
+                }
+                ent_rate[ei] = share;
+                frozen += ent_weight[ei] as u64;
+                round.push(e);
+            }
+
+            // Phase 3: subtract the frozen rates, sharded by resource
+            // owner. Every subtraction this round uses the same `share`,
+            // so each resource receives an identical sequence of f64
+            // operations regardless of how entries interleave across
+            // workers — and each owner still walks `round` in order.
+            {
+                let remaining = SharedSlice::new(&mut remaining[..]);
+                let count = SharedSlice::new(&mut count[..]);
+                let round: &[u32] = &round;
+                let flow_start: &[u32] = flow_start;
+                let ent_path: &[Option<Arc<[u32]>>] = ent_path;
+                let ent_weight: &[u32] = ent_weight;
+                pool.run(|worker| {
+                    for &e in round {
+                        let ei = e as usize;
+                        let w = ent_weight[ei];
+                        let path = ent_path[ei].as_ref().expect("live entry");
+                        for &r2 in path.iter() {
+                            let r2i = r2 as usize;
+                            if flow_start[r2i] as usize % nthreads != worker {
+                                continue;
+                            }
+                            // SAFETY: resource r2 has exactly one owning
+                            // worker, so these writes never race.
+                            unsafe {
+                                *count.get_mut(r2i) -= w;
+                                let rem = remaining.get_mut(r2i);
+                                for _ in 0..w {
+                                    *rem -= share;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            debug_assert_eq!(count[bottleneck as usize], 0, "bottleneck must fully drain");
+        }
+    }
+
     /// The rate of entry `id` as of the last recompute (bits/second). For
     /// a coalesced entry this is the rate of *each* member flow.
     #[inline]
@@ -626,6 +809,78 @@ impl MaxMinSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Deterministic xorshift64* for structured-random path sets.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// The parallel round-based pass must match the sequential heap
+    /// bit-for-bit — rates and iteration counts — on an entangled pass of
+    /// weighted entries at several thread counts.
+    #[test]
+    fn parallel_waterfill_is_bit_identical_to_the_heap() {
+        let caps: Vec<f64> = (0..96).map(|i| 1e9 + i as f64 * 3.7e7).collect();
+        let mut paths: Vec<Vec<u32>> = Vec::new();
+        let mut st = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..(PARALLEL_MIN_ENTRIES * 3) {
+            let len = 1 + (xorshift(&mut st) % 4) as usize;
+            let mut p: Vec<u32> = (0..len)
+                .map(|_| (xorshift(&mut st) % caps.len() as u64) as u32)
+                .collect();
+            p.dedup();
+            paths.push(p);
+        }
+        // Duplicate a slice of the paths so coalesced weights > 1 exist.
+        for i in 0..40 {
+            let p = paths[i * 3].clone();
+            paths.push(p);
+        }
+
+        let mut seq = MaxMinSolver::new(caps.clone()).unwrap();
+        let seq_ids: Vec<u32> = paths
+            .iter()
+            .map(|p| seq.insert_entry(Arc::from(p.as_slice()), true))
+            .collect();
+        seq.recompute(true, 0.5);
+        assert_eq!(seq.parallel_passes, 0);
+
+        for threads in [2, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            let mut par = MaxMinSolver::new(caps.clone()).unwrap();
+            let par_ids: Vec<u32> = paths
+                .iter()
+                .map(|p| par.insert_entry(Arc::from(p.as_slice()), true))
+                .collect();
+            par.recompute_with(true, 0.5, Some(&pool));
+            assert_eq!(par.parallel_passes, 1, "threads={threads}");
+            assert_eq!(par.iterations, seq.iterations, "threads={threads}");
+            for (s, p) in seq_ids.iter().zip(&par_ids) {
+                assert_eq!(
+                    seq.entry_rate(*s).to_bits(),
+                    par.entry_rate(*p).to_bits(),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    /// Below the entry threshold a pooled recompute must fall back to the
+    /// sequential heap (no dispatch overhead for small dirty components).
+    #[test]
+    fn small_passes_stay_sequential_even_with_a_pool() {
+        let pool = WorkerPool::new(4);
+        let mut s = MaxMinSolver::new(vec![1e9; 8]).unwrap();
+        for i in 0..4u32 {
+            s.insert_entry(Arc::from([i].as_slice()), true);
+        }
+        s.recompute_with(true, 0.5, Some(&pool));
+        assert_eq!(s.parallel_passes, 0);
+        assert!((s.entry_rate(0) - 1e9).abs() < 1.0);
+    }
 
     fn solve(caps: &[f64], paths: &[&[u32]]) -> Vec<f64> {
         let mut s = MaxMinSolver::new(caps.to_vec()).unwrap();

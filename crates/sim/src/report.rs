@@ -49,6 +49,30 @@ pub struct SimReport {
     /// [`crate::SimConfig::coalesce_flows`]. Zero with coalescing off.
     #[serde(default)]
     pub flows_coalesced: u64,
+    /// Worker threads the run used for its parallel phases (resolved from
+    /// [`crate::SimConfig::solver_threads`]; `1` means the pure sequential
+    /// path). Effort metadata, not physics: reports are bit-identical
+    /// across thread counts once the parallelism counters are zeroed.
+    #[serde(default)]
+    pub solver_threads: u64,
+    /// Water-filling passes that ran on the round-based parallel path
+    /// (0 at one thread or when every pass stayed below the dispatch
+    /// threshold).
+    #[serde(default)]
+    pub parallel_solves: u64,
+    /// Route-construction batches dispatched to the worker pool at
+    /// activation events.
+    #[serde(default)]
+    pub parallel_route_batches: u64,
+    /// Activation-time route-cache hits. Identical at every thread count:
+    /// the admission loop owns the cache trajectory.
+    #[serde(default)]
+    pub route_cache_hits: u64,
+    /// Cached routes dropped by the cache's generational eviction (never
+    /// counts fault purges). Non-zero means the workload's distinct pair
+    /// count exceeded [`crate::SimConfig::route_cache_cap`].
+    #[serde(default)]
+    pub route_cache_evictions: u64,
     /// Counters and histograms collected when tracing is enabled (see
     /// [`crate::SimConfig::trace`] and [`crate::trace`]); `None` — and the
     /// report bit-identical to pre-tracing builds — otherwise. Contains
@@ -143,6 +167,11 @@ mod tests {
             fault_events_applied: 0,
             rate_recomputes: 0,
             flows_coalesced: 0,
+            solver_threads: 1,
+            parallel_solves: 0,
+            parallel_route_batches: 0,
+            route_cache_hits: 0,
+            route_cache_evictions: 0,
             metrics: None,
         }
     }

@@ -354,6 +354,8 @@ impl MetricsRegistry {
             reroutes: self.reroutes,
             rate_recomputes: self.rate_recomputes,
             full_passes: self.full_passes,
+            solver_threads: 0,
+            parallel_solves: 0,
             solver_seconds_total: self.solver_seconds_total,
             solver_seconds: self.solver_seconds.clone(),
             flows_active: self.flows_active.clone(),
@@ -386,6 +388,14 @@ pub struct MetricsSnapshot {
     pub rate_recomputes: u64,
     /// Recomputations that degraded to a full pass over all live entries.
     pub full_passes: u64,
+    /// Worker threads the run used (stamped by the engine at snapshot
+    /// time; the registry itself never sees the pool).
+    #[serde(default)]
+    pub solver_threads: u64,
+    /// Water-filling passes that ran on the parallel round-based path
+    /// (engine-stamped, like `solver_threads`).
+    #[serde(default)]
+    pub parallel_solves: u64,
     /// Total solver wall-clock time, seconds. **Non-deterministic.**
     pub solver_seconds_total: f64,
     /// Per-recompute solver wall time, seconds. **Non-deterministic.**

@@ -88,6 +88,94 @@ pub enum WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// Check the spec's own parameters, before any topology is involved.
+    ///
+    /// Every constraint a generator would otherwise `assert!` on —
+    /// minimum task counts, power-of-two AllReduce, positive grid
+    /// dimensions, probability ranges — is reported here as an `Err`
+    /// message instead, so config-driven callers can surface a typed
+    /// error rather than a panic. [`generate`](Self::generate) still
+    /// asserts as a second line of defence.
+    pub fn validate(&self) -> Result<(), String> {
+        fn grid(gx: u32, gy: u32, gz: u32) -> Result<(), String> {
+            if gx == 0 || gy == 0 || gz == 0 {
+                return Err(format!(
+                    "grid dimensions must be positive, got {gx}x{gy}x{gz}"
+                ));
+            }
+            Ok(())
+        }
+        fn at_least(tasks: usize, min: usize, who: &str) -> Result<(), String> {
+            if tasks < min {
+                return Err(format!("{who} needs at least {min} tasks, got {tasks}"));
+            }
+            Ok(())
+        }
+        fn fraction(value: f64, what: &str) -> Result<(), String> {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(format!("{what} must be within [0, 1], got {value}"));
+            }
+            Ok(())
+        }
+        match *self {
+            WorkloadSpec::Reduce { tasks, .. } => at_least(tasks, 1, "Reduce"),
+            WorkloadSpec::AllReduce { tasks, .. } => {
+                if !tasks.is_power_of_two() || tasks < 2 {
+                    return Err(format!(
+                        "AllReduce requires a power-of-two task count >= 2, got {tasks}"
+                    ));
+                }
+                Ok(())
+            }
+            WorkloadSpec::MapReduce { tasks, .. } => at_least(tasks, 2, "MapReduce"),
+            WorkloadSpec::Sweep3d { gx, gy, gz, .. } => grid(gx, gy, gz),
+            WorkloadSpec::Flood {
+                gx, gy, gz, waves, ..
+            } => {
+                grid(gx, gy, gz)?;
+                if waves == 0 {
+                    return Err("Flood needs at least one wave".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::NearNeighbors {
+                gx,
+                gy,
+                gz,
+                iterations,
+                ..
+            } => {
+                grid(gx, gy, gz)?;
+                if iterations == 0 {
+                    return Err("NearNeighbors needs at least one iteration".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::NBodies { tasks, .. } => at_least(tasks, 2, "n-Bodies"),
+            WorkloadSpec::UnstructuredApp { tasks, .. } => at_least(tasks, 2, "UnstructuredApp"),
+            WorkloadSpec::UnstructuredMgnt { tasks, .. } => at_least(tasks, 2, "UnstructuredMgnt"),
+            WorkloadSpec::UnstructuredHr {
+                tasks,
+                hot_fraction,
+                hot_probability,
+                ..
+            } => {
+                at_least(tasks, 2, "UnstructuredHR")?;
+                fraction(hot_fraction, "hot_fraction")?;
+                fraction(hot_probability, "hot_probability")
+            }
+            WorkloadSpec::Bisection { tasks, rounds, .. } => {
+                if tasks < 2 || tasks % 2 != 0 {
+                    return Err(format!("Bisection needs an even task count, got {tasks}"));
+                }
+                if rounds == 0 {
+                    return Err("Bisection needs at least one round".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Instantiate the generator and produce the DAG.
     pub fn generate(&self, mapping: &TaskMapping) -> FlowDag {
         self.as_workload().generate(mapping)
@@ -274,6 +362,91 @@ mod tests {
                 seed: 1,
             },
         ]
+    }
+
+    #[test]
+    fn valid_specs_validate() {
+        for spec in all_specs(8) {
+            assert_eq!(spec.validate(), Ok(()), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_reasons() {
+        let bad = [
+            WorkloadSpec::AllReduce { tasks: 3, bytes: 1 },
+            WorkloadSpec::AllReduce { tasks: 0, bytes: 1 },
+            WorkloadSpec::Reduce { tasks: 0, bytes: 1 },
+            WorkloadSpec::MapReduce {
+                tasks: 1,
+                distribute_bytes: 1,
+                shuffle_bytes: 1,
+                gather_bytes: 1,
+            },
+            WorkloadSpec::Sweep3d {
+                gx: 0,
+                gy: 2,
+                gz: 2,
+                bytes: 1,
+            },
+            WorkloadSpec::Flood {
+                gx: 2,
+                gy: 2,
+                gz: 2,
+                bytes: 1,
+                waves: 0,
+            },
+            WorkloadSpec::NearNeighbors {
+                gx: 2,
+                gy: 2,
+                gz: 2,
+                bytes: 1,
+                iterations: 0,
+                periodic: false,
+            },
+            WorkloadSpec::NBodies { tasks: 1, bytes: 1 },
+            WorkloadSpec::UnstructuredApp {
+                tasks: 1,
+                flows_per_task: 1,
+                bytes: 1,
+                seed: 0,
+            },
+            WorkloadSpec::UnstructuredHr {
+                tasks: 4,
+                flows_per_task: 1,
+                bytes: 1,
+                hot_fraction: 1.5,
+                hot_probability: 0.5,
+                seed: 0,
+            },
+            WorkloadSpec::UnstructuredHr {
+                tasks: 4,
+                flows_per_task: 1,
+                bytes: 1,
+                hot_fraction: 0.5,
+                hot_probability: f64::NAN,
+                seed: 0,
+            },
+            WorkloadSpec::Bisection {
+                tasks: 5,
+                rounds: 1,
+                bytes: 1,
+                seed: 0,
+            },
+            WorkloadSpec::Bisection {
+                tasks: 4,
+                rounds: 0,
+                bytes: 1,
+                seed: 0,
+            },
+        ];
+        for spec in bad {
+            let err = match spec.validate() {
+                Err(e) => e,
+                Ok(()) => panic!("{spec:?} should not validate"),
+            };
+            assert!(!err.is_empty());
+        }
     }
 
     #[test]

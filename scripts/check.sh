@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== engine equivalence with EXAFLOW_THREADS=1 (forced-sequential auto pool)"
+EXAFLOW_THREADS=1 cargo test -q -p exaflow-suite --test engine_equiv
+
+echo "== engine equivalence with the default thread count"
+cargo test -q -p exaflow-suite --test engine_equiv
+
 echo "== cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 

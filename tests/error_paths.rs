@@ -113,6 +113,145 @@ fn mixed_suite_reports_typed_errors_per_entry() {
     );
 }
 
+/// Workload and mapping specs a generator would `assert!` on must surface
+/// as typed errors from `run_experiment`, not panics.
+#[test]
+fn invalid_workload_and_mapping_specs_are_typed_errors() {
+    let mut odd_allreduce = valid();
+    odd_allreduce.workload = WorkloadSpec::AllReduce { tasks: 6, bytes: 1 };
+
+    let mut zero_grid = valid();
+    zero_grid.workload = WorkloadSpec::Sweep3d {
+        gx: 0,
+        gy: 2,
+        gz: 2,
+        bytes: 1,
+    };
+
+    let mut zero_waves = valid();
+    zero_waves.workload = WorkloadSpec::Flood {
+        gx: 2,
+        gy: 2,
+        gz: 2,
+        bytes: 1,
+        waves: 0,
+    };
+
+    let mut bad_fraction = valid();
+    bad_fraction.workload = WorkloadSpec::UnstructuredHr {
+        tasks: 8,
+        flows_per_task: 2,
+        bytes: 1,
+        hot_fraction: 2.0,
+        hot_probability: 0.5,
+        seed: 0,
+    };
+
+    let mut odd_bisection = valid();
+    odd_bisection.workload = WorkloadSpec::Bisection {
+        tasks: 7,
+        rounds: 1,
+        bytes: 1,
+        seed: 0,
+    };
+
+    for cfg in [
+        odd_allreduce,
+        zero_grid,
+        zero_waves,
+        bad_fraction,
+        odd_bisection,
+    ] {
+        match run_experiment(&cfg).unwrap_err() {
+            ExperimentError::InvalidWorkload { reason } => assert!(!reason.is_empty()),
+            other => panic!(
+                "{:?}: expected InvalidWorkload, got {other:?}",
+                cfg.workload
+            ),
+        }
+    }
+
+    // A stride of zero, and a stride that walks off the endpoint range,
+    // are mapping errors (the workload itself is fine).
+    for stride in [0usize, 2] {
+        let mut cfg = valid(); // 16 tasks on 16 endpoints
+        cfg.mapping = MappingSpec::Strided { stride };
+        match run_experiment(&cfg).unwrap_err() {
+            ExperimentError::InvalidMapping { reason } => {
+                assert!(!reason.is_empty(), "stride={stride}")
+            }
+            other => panic!("stride={stride}: expected InvalidMapping, got {other:?}"),
+        }
+    }
+    // The boundary case still runs: 8 tasks at stride 2 on 16 endpoints.
+    let mut ok = valid();
+    ok.workload = WorkloadSpec::AllReduce {
+        tasks: 8,
+        bytes: 1 << 16,
+    };
+    ok.mapping = MappingSpec::Strided { stride: 2 };
+    assert!(run_experiment(&ok).is_ok());
+}
+
+/// Topology specs whose endpoint arithmetic would overflow (or whose
+/// explicit endpoint override is out of range) are typed errors too.
+#[test]
+fn overflowing_topology_specs_are_typed_errors() {
+    let cases = [
+        TopologySpec::Torus {
+            dims: vec![1 << 16, 1 << 16, 1 << 16],
+        },
+        TopologySpec::Torus {
+            dims: vec![4, 0, 4],
+        },
+        TopologySpec::Fattree {
+            k: 100,
+            n: 20,
+            endpoints: None,
+        },
+        TopologySpec::Fattree {
+            k: 4,
+            n: 2,
+            endpoints: Some(17),
+        },
+        TopologySpec::Fattree {
+            k: 4,
+            n: 2,
+            endpoints: Some(0),
+        },
+        TopologySpec::Ghc {
+            dims: vec![1 << 20, 1 << 20],
+            ports_per_router: 4,
+            endpoints: None,
+        },
+        TopologySpec::Ghc {
+            dims: vec![4, 4],
+            ports_per_router: 2,
+            endpoints: Some(33),
+        },
+        TopologySpec::Nested {
+            upper: UpperTierKind::Fattree,
+            subtori: 0,
+            t: 2,
+            u: 4,
+        },
+        TopologySpec::Nested {
+            upper: UpperTierKind::Fattree,
+            subtori: u64::MAX,
+            t: 4,
+            u: 4,
+        },
+    ];
+    for spec in cases {
+        match spec.build().map(|t| t.name()) {
+            Err(ExperimentError::InvalidTopology { reason }) => {
+                assert!(!reason.is_empty())
+            }
+            other => panic!("{spec:?}: expected InvalidTopology, got {other:?}"),
+        }
+    }
+}
+
 #[test]
 fn suite_errors_serialize_as_tagged_json() {
     let mut bad = valid();

@@ -99,11 +99,14 @@ fn suite_deterministic_across_thread_counts() {
     assert_eq!(signature(&serial.results), signature(&parallel.results));
 }
 
-/// One config that panics mid-experiment (a strided mapping overflowing the
-/// endpoint range trips an assert) yields an `Err` entry; every other
-/// experiment still completes with correct results.
+/// One bad config (a strided mapping overflowing the endpoint range — a
+/// spec that used to trip an assert mid-experiment and now fails spec
+/// validation) yields a typed `Err` entry; every other experiment still
+/// completes with correct results. Panic flattening itself is covered by
+/// the `scoped_map_catches_panics` unit test, since no experiment config
+/// panics anymore.
 #[test]
-fn panicking_config_is_isolated() {
+fn failing_config_is_isolated() {
     let scale = SystemScale::new(64).unwrap();
     let good = |tasks: usize| ExperimentConfig {
         topology: scale.torus_spec(),
@@ -117,8 +120,8 @@ fn panicking_config_is_isolated() {
         fault_injection: None,
     };
     let mut bad = good(32);
-    // 32 tasks * stride 1000 >> 64 endpoints: panics inside the experiment,
-    // after the cheap tasks-vs-endpoints validation has passed.
+    // 32 tasks * stride 1000 >> 64 endpoints: rejected by mapping
+    // validation after the cheap tasks-vs-endpoints check has passed.
     bad.mapping = MappingSpec::Strided { stride: 1000 };
 
     let run = ExperimentSuite::new(vec![good(16), bad, good(32)])
@@ -127,10 +130,10 @@ fn panicking_config_is_isolated() {
     assert!(run.results[0].is_ok());
     let err = run.results[1].as_ref().unwrap_err();
     assert!(
-        matches!(err, ExperimentError::Panicked { .. }),
+        matches!(err, ExperimentError::InvalidMapping { .. }),
         "unexpected error variant: {err:?}"
     );
-    assert!(err.to_string().contains("panicked"), "{err}");
+    assert!(err.to_string().contains("stride"), "{err}");
     assert!(run.results[2].is_ok());
     // Neighbours are unaffected and in input order: recursive-doubling
     // AllReduce gives n·log2(n) flows.
