@@ -13,12 +13,21 @@
 //!                                size (1 = serial); --metrics enables
 //!                                tracing on every entry and aggregates
 //!                                engine counters into the suite report;
-//!                                exits 3 when any entry ended in a typed
-//!                                error
+//!                                --retries N re-runs transient failures
+//!                                (panics, deadline overruns) up to N extra
+//!                                times before quarantining the entry;
+//!                                --journal f.jsonl appends every finished
+//!                                outcome to a crash-safe JSONL journal and
+//!                                --resume reuses journaled outcomes instead
+//!                                of re-running them; exits 3 when any entry
+//!                                ended in a typed error, 4 when quarantined
+//!                                entries remain
 //! exaflow resilience <spec.json> run a Monte-Carlo resilience campaign
 //!                                (fault rates x recovery policies x
 //!                                replicas) and print per-cell degradation
-//!                                metrics as deterministic JSON
+//!                                metrics as deterministic JSON; --journal /
+//!                                --resume work as for sweep (a resumed
+//!                                campaign report is bit-identical)
 //! exaflow topo <config.json>     build the topology and print its stats
 //! exaflow sample <name>          print a sample experiment config
 //! exaflow help                   this text
@@ -91,15 +100,24 @@ fn print_help() {
     eprintln!("                                  and attaches engine metrics to the result;");
     eprintln!("                                  --threads sets the intra-run solver pool size");
     eprintln!("                                  (results are bit-identical at every count)");
-    eprintln!("  exaflow sweep <suite.json | -> [--threads <n>] [--metrics]");
+    eprintln!("  exaflow sweep <suite.json | -> [--threads <n>] [--metrics] [--retries <n>]");
+    eprintln!("                                 [--journal <f.jsonl>] [--resume]");
     eprintln!("                                  run a JSON array of configs in parallel,");
     eprintln!("                                  print per-config results + suite metrics;");
     eprintln!("                                  --metrics traces every entry and aggregates");
     eprintln!("                                  engine counters into the suite report;");
-    eprintln!("                                  exit 3 if any entry ended in a typed error");
-    eprintln!("  exaflow resilience <spec.json | -> [--threads <n>]");
+    eprintln!("                                  --retries re-runs transient failures before");
+    eprintln!("                                  quarantining; --journal records each outcome");
+    eprintln!("                                  crash-safely, --resume replays the journal;");
+    eprintln!("                                  exit 3 if any entry ended in a typed error,");
+    eprintln!("                                  4 if quarantined entries remain");
+    eprintln!(
+        "  exaflow resilience <spec.json | -> [--threads <n>] [--journal <f.jsonl>] [--resume]"
+    );
     eprintln!("                                  run a Monte-Carlo fault-injection campaign,");
     eprintln!("                                  print per-(rate, policy) degradation metrics;");
+    eprintln!("                                  --journal/--resume as for sweep (resumed");
+    eprintln!("                                  reports are bit-identical);");
     eprintln!("                                  exit 3 on non-fault harness errors");
     eprintln!("  exaflow topo <config.json | ->  build the topology of a config, print stats");
     eprintln!("  exaflow sample [name]           print a sample config (or list names)");
@@ -213,36 +231,56 @@ struct SweepOutput {
     report: SuiteReport,
 }
 
-/// Parse the shared `<path | -> [--threads <n>]` argument shape used by
-/// `sweep` and `resilience`.
-fn parse_path_threads(args: &[String]) -> Result<(Option<&str>, Option<usize>), String> {
-    let mut path: Option<&str> = None;
-    let mut threads: Option<usize> = None;
+/// Shared argument shape for `sweep` and `resilience`:
+/// `<path | -> [--threads <n>] [--journal <f.jsonl>] [--resume] [--retries <n>]`.
+#[derive(Default)]
+struct CampaignArgs<'a> {
+    path: Option<&'a str>,
+    threads: Option<usize>,
+    journal: Option<&'a str>,
+    resume: bool,
+    retries: Option<u32>,
+}
+
+fn parse_campaign_args(args: &[String], allow_retries: bool) -> Result<CampaignArgs<'_>, String> {
+    let mut parsed = CampaignArgs::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => threads = Some(n),
+                Some(n) if n >= 1 => parsed.threads = Some(n),
                 _ => return Err("--threads needs a positive integer".into()),
             },
-            other if path.is_none() => path = Some(other),
+            "--journal" => match it.next() {
+                Some(p) => parsed.journal = Some(p),
+                None => return Err("--journal needs a file path".into()),
+            },
+            "--resume" => parsed.resume = true,
+            "--retries" if allow_retries => match it.next().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) => parsed.retries = Some(n),
+                None => return Err("--retries needs a non-negative integer".into()),
+            },
+            other if parsed.path.is_none() => parsed.path = Some(other),
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
-    Ok((path, threads))
+    if parsed.resume && parsed.journal.is_none() {
+        return Err("--resume requires --journal <path>".into());
+    }
+    Ok(parsed)
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {
     let metrics = args.iter().any(|a| a == "--metrics");
     let rest: Vec<String> = args.iter().filter(|a| *a != "--metrics").cloned().collect();
-    let (path, threads) = match parse_path_threads(&rest) {
-        Ok(pt) => pt,
+    let parsed_args = match parse_campaign_args(&rest, true) {
+        Ok(pa) => pa,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
         }
     };
-    let parsed: Result<Vec<ExperimentConfig>, String> = read_body(path)
+    let parsed: Result<Vec<ExperimentConfig>, String> = read_body(parsed_args.path)
         .and_then(|body| serde_json::from_str(&body).map_err(|e| format!("parse suite: {e}")));
     let mut configs = match parsed {
         Ok(c) => c,
@@ -257,26 +295,57 @@ fn cmd_sweep(args: &[String]) -> i32 {
         }
     }
     let mut suite = ExperimentSuite::new(configs);
-    if let Some(n) = threads {
+    if let Some(n) = parsed_args.threads {
         suite = suite.threads(n);
     }
-    let run = suite.run();
+    if let Some(extra) = parsed_args.retries {
+        // --retries counts *extra* attempts beyond the first.
+        suite = suite.retry_policy(RetryPolicy::attempts(extra + 1));
+    }
+    let run = match parsed_args.journal {
+        Some(journal_path) => {
+            match suite.run_journaled(std::path::Path::new(journal_path), parsed_args.resume) {
+                Ok(run) => run,
+                Err(e) => {
+                    eprintln!("error: journal {journal_path}: {e}");
+                    return 1;
+                }
+            }
+        }
+        None => suite.run(),
+    };
     eprintln!(
         "sweep: {}/{} experiments succeeded in {:.2}s on {} thread(s)",
         run.report.succeeded, run.report.experiments, run.report.wall_seconds, run.report.threads
     );
+    if run.report.retries > 0 || run.report.quarantined > 0 {
+        eprintln!(
+            "sweep: {} retr{} executed, {} entr{} quarantined",
+            run.report.retries,
+            if run.report.retries == 1 { "y" } else { "ies" },
+            run.report.quarantined,
+            if run.report.quarantined == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        );
+    }
     for (i, res) in run.results.iter().enumerate() {
         if let Err(e) = res {
             eprintln!("error: experiment {i}: {e}");
         }
     }
     let failed = run.report.failed;
+    let quarantined = run.report.quarantined;
     let out = SweepOutput {
         results: run.results,
         report: run.report,
     };
     println!("{}", serde_json::to_string_pretty(&out).unwrap());
-    if failed > 0 {
+    if quarantined > 0 {
+        4
+    } else if failed > 0 {
         3
     } else {
         0
@@ -293,14 +362,14 @@ struct ResilienceOutput {
 }
 
 fn cmd_resilience(args: &[String]) -> i32 {
-    let (path, threads) = match parse_path_threads(args) {
-        Ok(pt) => pt,
+    let parsed_args = match parse_campaign_args(args, false) {
+        Ok(pa) => pa,
         Err(e) => {
             eprintln!("error: {e}");
             return 1;
         }
     };
-    let parsed: Result<ResilienceCampaignSpec, String> = read_body(path)
+    let parsed: Result<ResilienceCampaignSpec, String> = read_body(parsed_args.path)
         .and_then(|body| serde_json::from_str(&body).map_err(|e| format!("parse campaign: {e}")));
     let spec = match parsed {
         Ok(s) => s,
@@ -309,7 +378,10 @@ fn cmd_resilience(args: &[String]) -> i32 {
             return 1;
         }
     };
-    match run_resilience_campaign(&spec, threads) {
+    let journal = parsed_args
+        .journal
+        .map(|p| (std::path::Path::new(p), parsed_args.resume));
+    match run_resilience_campaign_journaled(&spec, parsed_args.threads, journal) {
         Ok(report) => {
             eprintln!(
                 "resilience: {} runs ({} rates x {} policies x {} replicas), {} failed",

@@ -609,3 +609,371 @@ fn unknown_command_exits_2() {
     let out = exaflow().arg("frobnicate").output().unwrap();
     assert_eq!(out.status.code(), Some(2));
 }
+
+// --------------------------------------------------------------------------
+// Crash-safe campaign tests (journaling, retries, kill-and-resume). All
+// named `campaign_*` so the check script can gate on them as a group.
+// --------------------------------------------------------------------------
+
+/// A sweep whose entries each take on the order of a second in a debug
+/// build: slow enough that a kill lands mid-campaign, fast enough for CI.
+/// Seeds differ so every entry has a distinct journal fingerprint.
+fn slow_suite_json(entries: usize) -> String {
+    let configs: Vec<String> = (0..entries)
+        .map(|i| {
+            format!(
+                r#"{{"topology": {{"topology": "torus", "dims": [12, 12]}},
+                    "workload": {{"workload": "unstructured_app", "tasks": 144,
+                                  "flows_per_task": 10, "bytes": 1048576, "seed": {}}}}}"#,
+                i + 1
+            )
+        })
+        .collect();
+    format!("[{}]", configs.join(","))
+}
+
+fn tmpfile(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("exaflow-cli-{tag}-{}", std::process::id()))
+}
+
+/// Strip every wall-clock-derived field from a sweep document, leaving
+/// only the deterministic surface (results, counters, report tallies).
+/// `threads` goes too: it echoes the invocation's `--threads`, and the
+/// resume runs here deliberately use a different pool size to prove the
+/// report does not depend on it.
+fn scrub_wall_fields(v: &serde_json::Value) -> serde_json::Value {
+    use serde_json::{Map, Value};
+    match v {
+        Value::Object(map) => {
+            let mut out = Map::new();
+            for (k, val) in map.iter() {
+                let wall_derived = matches!(
+                    k.as_str(),
+                    "wall_seconds"
+                        | "experiment_wall_seconds"
+                        | "events_per_second"
+                        | "per_experiment_wall_seconds"
+                        | "solver_seconds_total"
+                        | "threads"
+                );
+                if !wall_derived {
+                    out.insert(k.clone(), scrub_wall_fields(val));
+                }
+            }
+            Value::Object(out)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(scrub_wall_fields).collect()),
+        leaf => leaf.clone(),
+    }
+}
+
+fn scrubbed(stdout: &[u8]) -> String {
+    let v: serde_json::Value = serde_json::from_slice(stdout).expect("valid sweep JSON");
+    serde_json::to_string(&scrub_wall_fields(&v)).unwrap()
+}
+
+fn count_complete_lines(path: &std::path::Path) -> usize {
+    std::fs::read_to_string(path)
+        .map(|text| text.matches('\n').count())
+        .unwrap_or(0)
+}
+
+/// The tentpole end-to-end scenario: SIGKILL a journaled sweep mid-flight,
+/// resume it, and require the deterministic report surface to be identical
+/// to an uninterrupted run's.
+#[test]
+fn campaign_kill_and_resume_reconstructs_the_report() {
+    let suite_path = tmpfile("kill-suite.json");
+    let journal_path = tmpfile("kill-journal.jsonl");
+    std::fs::write(&suite_path, slow_suite_json(6)).unwrap();
+
+    // Reference: the same sweep, uninterrupted (journal to a throwaway).
+    let ref_journal = tmpfile("kill-ref-journal.jsonl");
+    let reference = exaflow()
+        .args(["sweep", suite_path.to_str().unwrap(), "--threads", "1"])
+        .args(["--journal", ref_journal.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        reference.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    assert_eq!(count_complete_lines(&ref_journal), 6);
+
+    // Victim: kill it the moment the journal shows completed entries but
+    // before the campaign can possibly have finished.
+    let mut child = exaflow()
+        .args(["sweep", suite_path.to_str().unwrap(), "--threads", "1"])
+        .args(["--journal", journal_path.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while count_complete_lines(&journal_path) < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "journal never gained a complete line"
+        );
+        if child.try_wait().unwrap().is_some() {
+            break; // finished before we could kill it; resume still works
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    child.kill().ok(); // SIGKILL on unix: no cleanup, no flushing
+    child.wait().unwrap();
+    let survived = count_complete_lines(&journal_path);
+    assert!(
+        survived >= 1,
+        "at least one outcome must have been journaled before the kill"
+    );
+
+    // Resume and compare against the uninterrupted run.
+    let resumed = exaflow()
+        .args(["sweep", suite_path.to_str().unwrap(), "--threads", "2"])
+        .args(["--journal", journal_path.to_str().unwrap(), "--resume"])
+        .output()
+        .unwrap();
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(count_complete_lines(&journal_path), 6, "journal healed");
+    assert_eq!(
+        scrubbed(&resumed.stdout),
+        scrubbed(&reference.stdout),
+        "resumed report must match the uninterrupted run on every \
+         deterministic field"
+    );
+
+    for p in [&suite_path, &journal_path, &ref_journal] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// A journal whose final line was torn by a crash mid-write must resume
+/// cleanly: the torn line is discarded, its experiment re-runs, and the
+/// report still matches an uninterrupted run.
+#[test]
+fn campaign_torn_journal_resumes_cleanly() {
+    let suite_path = tmpfile("torn-suite.json");
+    let journal_path = tmpfile("torn-journal.jsonl");
+    std::fs::write(&suite_path, SWEEP_SUITE).unwrap();
+
+    let reference = exaflow()
+        .args(["sweep", suite_path.to_str().unwrap(), "--threads", "1"])
+        .args(["--journal", journal_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(reference.status.code(), Some(3)); // one TooManyTasks entry
+    assert_eq!(count_complete_lines(&journal_path), 3);
+
+    // Tear the final line as an interrupted write would.
+    let text = std::fs::read_to_string(&journal_path).unwrap();
+    std::fs::write(&journal_path, &text[..text.len() - 23]).unwrap();
+
+    let resumed = exaflow()
+        .args(["sweep", suite_path.to_str().unwrap(), "--threads", "2"])
+        .args(["--journal", journal_path.to_str().unwrap(), "--resume"])
+        .output()
+        .unwrap();
+    assert_eq!(resumed.status.code(), Some(3));
+    assert_eq!(count_complete_lines(&journal_path), 3, "journal healed");
+    assert_eq!(scrubbed(&resumed.stdout), scrubbed(&reference.stdout));
+
+    std::fs::remove_file(&suite_path).ok();
+    std::fs::remove_file(&journal_path).ok();
+}
+
+/// Full sim object with the workspace defaults, ready for extra budget
+/// fields — the strict SimConfig deserializer takes all or nothing.
+fn sim_json(extra: &str) -> String {
+    format!(
+        r#"{{"injection_bps": 1e10, "ejection_bps": 1e10, "batch_epsilon": 1e-9,
+            "record_flow_times": true, "cache_routes": true, "route_cache_cap": 4096{}{extra}}}"#,
+        if extra.is_empty() { "" } else { ", " }
+    )
+}
+
+/// An exhausted event budget is a deterministic, typed per-entry error:
+/// exit 3 (failed), never retried, never quarantined.
+#[test]
+fn campaign_event_budget_is_a_typed_error_not_a_retry() {
+    use std::io::Write;
+    let suite = format!(
+        r#"[{{"topology": {{"topology": "torus", "dims": [4, 4]}},
+             "workload": {{"workload": "all_reduce", "tasks": 16, "bytes": 65536}},
+             "sim": {}}}]"#,
+        sim_json(r#""max_events": 3"#)
+    );
+    let mut child = exaflow()
+        .args(["sweep", "-", "--retries", "4"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(suite.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let err = &body["results"][0]["Err"];
+    assert_eq!(err["kind"], "sim");
+    assert_eq!(err["sim"]["kind"], "budget_exhausted");
+    assert_eq!(err["sim"]["max_events"], 3);
+    assert_eq!(body["report"]["retries"], 0, "deterministic: no retries");
+    assert_eq!(body["report"]["quarantined"], 0);
+}
+
+/// A wall-clock deadline overrun is transient: with --retries it is
+/// re-attempted, then quarantined with its attempt history, and the sweep
+/// exits 4 so schedulers can tell "needs investigation" from "failed".
+#[test]
+fn campaign_deadline_overruns_quarantine_and_exit_4() {
+    use std::io::Write;
+    let suite = format!(
+        r#"[{{"topology": {{"topology": "torus", "dims": [4, 4]}},
+             "workload": {{"workload": "all_reduce", "tasks": 16, "bytes": 65536}},
+             "sim": {}}},
+           {{"topology": {{"topology": "torus", "dims": [4, 4]}},
+             "workload": {{"workload": "all_reduce", "tasks": 8, "bytes": 65536}}}}]"#,
+        sim_json(r#""max_wall_s": 1e-12"#)
+    );
+    let mut child = exaflow()
+        .args(["sweep", "-", "--retries", "2", "--threads", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(suite.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    let err = &body["results"][0]["Err"];
+    assert_eq!(err["kind"], "quarantined");
+    let attempts = err["attempts"].as_array().unwrap();
+    assert_eq!(attempts.len(), 3, "1 initial + 2 retries");
+    for attempt in attempts {
+        assert_eq!(attempt["kind"], "sim");
+        assert_eq!(attempt["sim"]["kind"], "deadline_exceeded");
+    }
+    assert!(
+        body["results"][1]["Ok"].as_object().is_some(),
+        "neighbour unaffected"
+    );
+    assert_eq!(body["report"]["retries"], 2);
+    assert_eq!(body["report"]["quarantined"], 1);
+    let err_text = String::from_utf8_lossy(&out.stderr);
+    assert!(err_text.contains("quarantined"), "stderr: {err_text}");
+}
+
+/// Resilience reports carry no wall-clock fields, so a resumed campaign
+/// must reproduce the uninterrupted stdout *byte for byte* — both from a
+/// complete journal and from one torn mid-line.
+#[test]
+fn campaign_resilience_resume_is_bit_identical() {
+    let journal_path = tmpfile("res-journal.jsonl");
+    let jflag = journal_path.to_str().unwrap().to_owned();
+
+    let reference = run_resilience(RESILIENCE_SPEC, &["--threads", "2", "--journal", &jflag]);
+    assert!(
+        reference.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    // baseline + 2 rates x 2 policies x 2 replicas
+    assert_eq!(count_complete_lines(&journal_path), 9);
+
+    // Complete journal: pure replay.
+    let resumed = run_resilience(
+        RESILIENCE_SPEC,
+        &["--threads", "1", "--journal", &jflag, "--resume"],
+    );
+    assert!(resumed.status.success());
+    assert_eq!(
+        resumed.stdout, reference.stdout,
+        "replay must be bit-identical"
+    );
+
+    // Torn journal: drop the tail mid-line, resume re-runs the remainder.
+    let text = std::fs::read_to_string(&journal_path).unwrap();
+    let fourth_newline = text
+        .match_indices('\n')
+        .nth(3)
+        .map(|(i, _)| i)
+        .expect("at least four journal lines");
+    std::fs::write(&journal_path, &text[..fourth_newline + 9]).unwrap();
+    let resumed = run_resilience(
+        RESILIENCE_SPEC,
+        &["--threads", "4", "--journal", &jflag, "--resume"],
+    );
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        resumed.stdout, reference.stdout,
+        "torn-journal resume must be bit-identical"
+    );
+    assert_eq!(count_complete_lines(&journal_path), 9, "journal healed");
+
+    std::fs::remove_file(&journal_path).ok();
+}
+
+/// `--resume` without `--journal` is a usage error, for sweep and
+/// resilience alike.
+#[test]
+fn campaign_resume_requires_a_journal() {
+    for cmd in ["sweep", "resilience"] {
+        let out = exaflow().args([cmd, "-", "--resume"]).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{cmd}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--journal"), "{cmd} stderr: {err}");
+    }
+}
+
+/// Mid-journal corruption (not a torn tail) must fail loudly instead of
+/// silently shortening the campaign.
+#[test]
+fn campaign_corrupt_journal_is_a_loud_error() {
+    let suite_path = tmpfile("corrupt-suite.json");
+    let journal_path = tmpfile("corrupt-journal.jsonl");
+    std::fs::write(&suite_path, SWEEP_SUITE).unwrap();
+    std::fs::write(&journal_path, "{\"garbage\": true}\n{\"more\": 1}\n").unwrap();
+
+    let out = exaflow()
+        .args(["sweep", suite_path.to_str().unwrap()])
+        .args(["--journal", journal_path.to_str().unwrap(), "--resume"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("journal"), "stderr: {err}");
+
+    std::fs::remove_file(&suite_path).ok();
+    std::fs::remove_file(&journal_path).ok();
+}

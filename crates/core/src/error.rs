@@ -70,6 +70,21 @@ pub enum ExperimentError {
         /// Best-effort panic message.
         message: String,
     },
+    /// Every attempt the suite's [`RetryPolicy`](crate::RetryPolicy)
+    /// allowed failed transiently (worker panics, wall-clock deadline
+    /// overruns), so the entry was quarantined instead of blocking the
+    /// campaign. `attempts` holds each attempt's error in order; the last
+    /// one is the terminal failure.
+    Quarantined {
+        /// Per-attempt errors, oldest first.
+        attempts: Vec<ExperimentError>,
+    },
+    /// The campaign journal could not be read or written (I/O failure,
+    /// mid-file corruption). A harness problem, never a measured result.
+    Journal {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl From<SimError> for ExperimentError {
@@ -106,6 +121,15 @@ impl fmt::Display for ExperimentError {
             ),
             ExperimentError::Sim { sim } => write!(f, "simulation failed: {sim}"),
             ExperimentError::Panicked { message } => write!(f, "experiment panicked: {message}"),
+            ExperimentError::Quarantined { attempts } => match attempts.last() {
+                Some(last) => write!(
+                    f,
+                    "quarantined after {} failed attempt(s); last: {last}",
+                    attempts.len()
+                ),
+                None => write!(f, "quarantined with no recorded attempts"),
+            },
+            ExperimentError::Journal { reason } => write!(f, "campaign journal error: {reason}"),
         }
     }
 }
@@ -150,6 +174,44 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("64 tasks"), "{s}");
         assert!(s.contains("16 endpoints"), "{s}");
+    }
+
+    #[test]
+    fn quarantined_roundtrips_with_nested_attempt_history() {
+        let e = ExperimentError::Quarantined {
+            attempts: vec![
+                ExperimentError::Panicked {
+                    message: "worker died".into(),
+                },
+                ExperimentError::from(SimError::DeadlineExceeded {
+                    wall_limit_s: 0.5,
+                    events: 10,
+                    time: 0.1,
+                    delivered_bytes: 100,
+                    flows_completed: 1,
+                }),
+            ],
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"quarantined\""), "{json}");
+        assert!(json.contains("\"kind\":\"deadline_exceeded\""), "{json}");
+        let back: ExperimentError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        let s = e.to_string();
+        assert!(s.contains("after 2 failed attempt(s)"), "{s}");
+        assert!(s.contains("deadline"), "{s}");
+    }
+
+    #[test]
+    fn journal_error_roundtrips() {
+        let e = ExperimentError::Journal {
+            reason: "corrupt journal line 3".into(),
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"journal\""), "{json}");
+        let back: ExperimentError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        assert!(e.to_string().contains("journal"), "{e}");
     }
 
     #[test]

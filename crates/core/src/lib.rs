@@ -46,6 +46,7 @@
 
 pub mod error;
 pub mod experiment;
+pub mod journal;
 pub mod normalize;
 pub mod presets;
 pub mod resilience;
@@ -58,12 +59,14 @@ pub use experiment::{
     run_experiment, run_experiment_traced, ExperimentConfig, ExperimentResult, FailureSpec,
     FaultInjectionSpec, MappingSpec,
 };
+pub use journal::{fingerprint, read_journal, Journal, JournalEntry, JournalIndex};
 pub use normalize::{normalize_to, NormalizedRow};
 pub use resilience::{
-    run_resilience_campaign, CellReport, ResilienceCampaignReport, ResilienceCampaignSpec,
+    run_resilience_campaign, run_resilience_campaign_journaled, CellReport,
+    ResilienceCampaignReport, ResilienceCampaignSpec,
 };
 pub use scale::SystemScale;
-pub use suite::{scoped_map, ExperimentSuite, SuiteMetrics, SuiteReport, SuiteRun};
+pub use suite::{scoped_map, ExperimentSuite, RetryPolicy, SuiteMetrics, SuiteReport, SuiteRun};
 pub use topospec::TopologySpec;
 
 // Re-export the subsystem crates under their natural names.
@@ -81,12 +84,16 @@ pub mod prelude {
         run_experiment, run_experiment_traced, ExperimentConfig, ExperimentResult, FailureSpec,
         FaultInjectionSpec, MappingSpec,
     };
+    pub use crate::journal::{fingerprint, read_journal, Journal, JournalEntry, JournalIndex};
     pub use crate::presets;
     pub use crate::resilience::{
-        run_resilience_campaign, CellReport, ResilienceCampaignReport, ResilienceCampaignSpec,
+        run_resilience_campaign, run_resilience_campaign_journaled, CellReport,
+        ResilienceCampaignReport, ResilienceCampaignSpec,
     };
     pub use crate::scale::SystemScale;
-    pub use crate::suite::{scoped_map, ExperimentSuite, SuiteMetrics, SuiteReport, SuiteRun};
+    pub use crate::suite::{
+        scoped_map, ExperimentSuite, RetryPolicy, SuiteMetrics, SuiteReport, SuiteRun,
+    };
     pub use crate::topospec::TopologySpec;
     pub use exaflow_analysis::{
         channel_load_survey, distance_stats_exact, distance_survey, DistanceStats, LoadStats,

@@ -24,9 +24,11 @@
 
 use crate::error::ExperimentError;
 use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult, FaultInjectionSpec};
+use crate::journal::{fingerprint, Journal, JournalIndex, JournaledOutcome};
 use crate::suite::ExperimentSuite;
 use exaflow_sim::{FaultScheduleSpec, RecoveryPolicy, SimError};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 
 /// Ceiling on `rates × policies × replicas`: a typo'd campaign is a typed
 /// error, not an hour of compute.
@@ -204,8 +206,50 @@ pub fn run_resilience_campaign(
     spec: &ResilienceCampaignSpec,
     threads: Option<usize>,
 ) -> Result<ResilienceCampaignReport, ExperimentError> {
+    run_resilience_campaign_journaled(spec, threads, None)
+}
+
+fn journal_io(e: std::io::Error) -> ExperimentError {
+    ExperimentError::Journal {
+        reason: e.to_string(),
+    }
+}
+
+/// [`run_resilience_campaign`] with crash-safe journaling: every replica
+/// outcome (and the baseline) is appended to the JSONL journal at `path`
+/// the moment it finalises. With `resume`, outcomes already journaled are
+/// reused instead of re-run; since campaign reports carry no wall-clock
+/// fields, a resumed report is **bit-identical** to an uninterrupted one.
+/// Without `resume`, the journal is truncated and the campaign starts
+/// fresh. `journal: None` behaves exactly like the plain runner.
+pub fn run_resilience_campaign_journaled(
+    spec: &ResilienceCampaignSpec,
+    threads: Option<usize>,
+    journal: Option<(&Path, bool)>,
+) -> Result<ResilienceCampaignReport, ExperimentError> {
     validate(spec)?;
-    let baseline: ExperimentResult = run_experiment(&spec.base)?;
+    let mut index = match journal {
+        Some((path, true)) => JournalIndex::load(path).map_err(journal_io)?,
+        _ => JournalIndex::default(),
+    };
+    let mut journal = match journal {
+        Some((path, resume)) => Some(Journal::open(path, !resume).map_err(journal_io)?),
+        None => None,
+    };
+
+    // The baseline is journaled like any grid point: a resumed campaign
+    // must not re-run it (its makespan anchors every inflation figure).
+    let base_fp = fingerprint(&spec.base);
+    let baseline: ExperimentResult = match index.take(&base_fp) {
+        Some(outcome) => outcome?,
+        None => {
+            let outcome: JournaledOutcome = run_experiment(&spec.base);
+            if let Some(j) = journal.as_mut() {
+                j.record(&base_fp, &outcome).map_err(journal_io)?;
+            }
+            outcome?
+        }
+    };
     let horizon = match spec.horizon_s {
         Some(h) => h,
         None if baseline.makespan_seconds > 0.0 => baseline.makespan_seconds,
@@ -237,11 +281,21 @@ pub fn run_resilience_campaign(
         }
     }
 
+    let fingerprints: Vec<String> = configs.iter().map(fingerprint).collect();
+    let prefilled: Vec<Option<JournaledOutcome>> =
+        fingerprints.iter().map(|fp| index.take(fp)).collect();
     let mut suite = ExperimentSuite::new(configs);
     if let Some(t) = threads {
         suite = suite.threads(t);
     }
-    let run = suite.run();
+    let (run, io_error) = suite.run_prefilled(
+        journal.as_mut().map(|j| (j, fingerprints.as_slice())),
+        prefilled,
+        &|_| {},
+    );
+    if let Some(e) = io_error {
+        return Err(journal_io(e));
+    }
 
     let mut cells = Vec::with_capacity(spec.fault_rates_per_s.len() * spec.policies.len());
     let mut outcomes = run.results.iter();
@@ -522,6 +576,53 @@ mod tests {
         assert_ne!(a, schedule_seed(2, 0, 0));
         // Stable: pure function of its inputs.
         assert_eq!(a, schedule_seed(1, 0, 0));
+    }
+
+    #[test]
+    fn journaled_campaign_resumes_bit_identically() {
+        let path = std::env::temp_dir().join(format!(
+            "exaflow-resilience-journal-{}.jsonl",
+            std::process::id()
+        ));
+        let mut s = spec();
+        s.replicas = 2;
+        s.fault_rates_per_s = vec![0.0, 800.0];
+        s.policies = vec![
+            RecoveryPolicy::RerouteResume,
+            RecoveryPolicy::SkipUnreachable,
+        ];
+
+        let fresh = run_resilience_campaign_journaled(&s, Some(2), Some((&path, false))).unwrap();
+        let plain = run_resilience_campaign(&s, Some(2)).unwrap();
+        assert_eq!(fresh, plain, "journaling must not perturb the report");
+        let full_len = crate::journal::read_journal(&path).unwrap().len() as u64;
+        assert_eq!(full_len, fresh.total_runs + 1, "grid points + baseline");
+
+        // Complete journal: resume replays everything, runs nothing new.
+        let resumed = run_resilience_campaign_journaled(&s, Some(2), Some((&path, true))).unwrap();
+        assert_eq!(resumed, fresh);
+        assert_eq!(
+            crate::journal::read_journal(&path).unwrap().len() as u64,
+            full_len
+        );
+
+        // Kill mid-campaign: keep two complete lines plus a torn fragment
+        // of the third, resume, and the report must still be identical.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let second_newline = text
+            .match_indices('\n')
+            .nth(1)
+            .map(|(i, _)| i)
+            .expect("at least two journal lines");
+        std::fs::write(&path, &text[..second_newline + 11]).unwrap();
+        let resumed = run_resilience_campaign_journaled(&s, Some(1), Some((&path, true))).unwrap();
+        assert_eq!(resumed, fresh, "torn-journal resume must reconstruct");
+        assert_eq!(
+            crate::journal::read_journal(&path).unwrap().len() as u64,
+            full_len,
+            "resume heals the journal back to full length"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

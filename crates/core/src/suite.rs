@@ -6,12 +6,29 @@
 //! — so suites work wherever the standard library does. Workers pull
 //! experiment indices from a shared atomic counter (work stealing by
 //! construction: a worker stuck on a slow experiment never blocks the
-//! others), and results are scattered back into **input order** no matter
-//! which worker finished first.
+//! others), stream outcomes back over a channel the moment they complete,
+//! and results are scattered back into **input order** no matter which
+//! worker finished first.
 //!
-//! Each experiment runs under [`std::panic::catch_unwind`]: a panicking
-//! configuration produces an `Err` entry for that experiment and leaves
-//! the rest of the suite untouched.
+//! Three layers of robustness keep a long campaign alive:
+//!
+//! * Each experiment runs under [`std::panic::catch_unwind`]: a panicking
+//!   configuration produces an `Err` entry for that experiment and leaves
+//!   the rest of the suite untouched.
+//! * A worker thread that dies outright (a panic escaping the isolation
+//!   boundary) strands only the entry it was running: the stranded index
+//!   becomes a typed [`ExperimentError::Panicked`] entry and the surviving
+//!   workers finish the rest of the suite.
+//! * A [`RetryPolicy`] re-runs transiently-failed entries (panics,
+//!   wall-clock deadline overruns) with capped exponential backoff; an
+//!   entry that keeps failing is **quarantined** into the report as
+//!   [`ExperimentError::Quarantined`] with its full attempt history
+//!   instead of failing the campaign.
+//!
+//! [`run_journaled`](ExperimentSuite::run_journaled) additionally streams
+//! every finalised outcome to an append-only JSONL journal (see
+//! [`crate::journal`]) so a killed process can resume without redoing
+//! completed work.
 //!
 //! ```
 //! use exaflow::prelude::*;
@@ -36,8 +53,10 @@
 
 use crate::error::ExperimentError;
 use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+use crate::journal::{fingerprint, Journal, JournalIndex, JournaledOutcome};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -46,6 +65,90 @@ use std::time::Instant;
 pub struct ExperimentSuite {
     configs: Vec<ExperimentConfig>,
     threads: Option<usize>,
+    retry: RetryPolicy,
+}
+
+/// How the suite treats transiently-failed entries (worker panics and
+/// [`SimError::DeadlineExceeded`] overruns — failures that depend on the
+/// host, not the spec). Deterministic failures (invalid specs, exhausted
+/// event budgets, simulation errors) are never retried: re-running them
+/// reproduces the same error by construction.
+///
+/// Attempt `k` (2-based) waits `backoff_base_ms * 2^(k-2)` milliseconds,
+/// capped at `backoff_cap_ms`, plus a deterministic seed-derived jitter in
+/// `[0, backoff_base_ms]` — so restarted campaigns replay the same pacing.
+///
+/// [`SimError::DeadlineExceeded`]: exaflow_sim::SimError::DeadlineExceeded
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts per entry, including the first (>= 1; 1 = never
+    /// retry, the default).
+    #[serde(default = "default_attempts")]
+    pub max_attempts: u32,
+    /// Base backoff before the second attempt, milliseconds.
+    #[serde(default)]
+    pub backoff_base_ms: u64,
+    /// Ceiling on the exponential backoff, milliseconds.
+    #[serde(default)]
+    pub backoff_cap_ms: u64,
+    /// Seed for the deterministic jitter.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_attempts() -> u32 {
+    1
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` total attempts, 100ms base backoff
+    /// capped at 5s, and a zero jitter seed.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            backoff_base_ms: 100,
+            backoff_cap_ms: 5_000,
+            seed: 0,
+        }
+    }
+
+    /// True when `error` is transient — worth re-running on the same host.
+    pub fn is_transient(error: &ExperimentError) -> bool {
+        matches!(
+            error,
+            ExperimentError::Panicked { .. }
+                | ExperimentError::Sim {
+                    sim: exaflow_sim::SimError::DeadlineExceeded { .. },
+                }
+        )
+    }
+
+    /// Backoff before attempt `attempt` (2-based), milliseconds.
+    fn backoff_ms(&self, attempt: u32) -> u64 {
+        if attempt < 2 || self.backoff_base_ms == 0 {
+            return 0;
+        }
+        let exp = self
+            .backoff_base_ms
+            .saturating_mul(1u64.checked_shl(attempt - 2).unwrap_or(u64::MAX))
+            .min(self.backoff_cap_ms.max(self.backoff_base_ms));
+        // SplitMix64 finalizer over (seed, attempt): deterministic jitter.
+        let mut z = self.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        exp + (z ^ (z >> 31)) % (self.backoff_base_ms + 1)
+    }
 }
 
 /// Everything a finished suite produced: per-experiment outcomes in input
@@ -69,6 +172,15 @@ pub struct SuiteReport {
     pub succeeded: u64,
     /// Experiments that errored or panicked.
     pub failed: u64,
+    /// Extra attempts the [`RetryPolicy`] executed in this invocation
+    /// (beyond each entry's first attempt; journal-cached entries are
+    /// never re-attempted, so a resumed run counts only its own work).
+    #[serde(default)]
+    pub retries: u64,
+    /// Entries quarantined after exhausting the retry budget (a subset of
+    /// `failed`; derived from the results, so it is deterministic).
+    #[serde(default)]
+    pub quarantined: u64,
     /// Worker threads used.
     pub threads: u64,
     /// Wall-clock seconds for the whole suite.
@@ -160,6 +272,7 @@ impl ExperimentSuite {
         ExperimentSuite {
             configs,
             threads: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -167,6 +280,12 @@ impl ExperimentSuite {
     /// runs the suite serially on the calling thread.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Retry transiently-failed entries under `policy` (default: never).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -190,30 +309,146 @@ impl ExperimentSuite {
 
     /// Run every experiment and aggregate the outcome.
     pub fn run(&self) -> SuiteRun {
+        let (run, _) = self.run_prefilled(None, vec![None; self.len()], &|_| {});
+        run
+    }
+
+    /// Run the suite against an append-only journal at `path`: every
+    /// finalised outcome is recorded the moment it completes, so a killed
+    /// process loses at most in-flight work. With `resume`, outcomes
+    /// already journaled for a config's [`fingerprint`] are reused instead
+    /// of re-run and the final report's deterministic fields are
+    /// bit-identical to an uninterrupted run; without it, the journal is
+    /// truncated and the campaign starts fresh.
+    pub fn run_journaled(&self, path: &Path, resume: bool) -> std::io::Result<SuiteRun> {
+        let fingerprints: Vec<String> = self.configs.iter().map(fingerprint).collect();
+        let mut prefilled: Vec<Option<JournaledOutcome>> = vec![None; self.len()];
+        if resume {
+            let mut index = JournalIndex::load(path)?;
+            for (slot, fp) in prefilled.iter_mut().zip(&fingerprints) {
+                *slot = index.take(fp);
+            }
+        }
+        let mut journal = Journal::open(path, !resume)?;
+        let (run, io_error) =
+            self.run_prefilled(Some((&mut journal, &fingerprints)), prefilled, &|_| {});
+        match io_error {
+            Some(e) => Err(e),
+            None => Ok(run),
+        }
+    }
+
+    /// Test support: run the suite with a fault hook that is invoked on
+    /// each worker thread *outside* the per-experiment panic isolation,
+    /// with the batch-local index it just claimed — a panicking hook kills
+    /// that worker dead, exactly like an abort-level failure mid-suite.
+    #[doc(hidden)]
+    pub fn run_with_worker_fault(&self, fault: &(dyn Fn(usize) + Sync)) -> SuiteRun {
+        let (run, _) = self.run_prefilled(None, vec![None; self.len()], fault);
+        run
+    }
+
+    /// The shared engine under [`run`](Self::run) and
+    /// [`run_journaled`](Self::run_journaled): round-based retries over a
+    /// scoped worker pool, with `prefilled` entries (journal hits) taken
+    /// as already-final and every newly-finalised outcome streamed to
+    /// `journal` as it completes. Returns the run plus the first journal
+    /// I/O error, if any (experiments keep running; the caller decides).
+    pub(crate) fn run_prefilled(
+        &self,
+        mut journal: Option<(&mut Journal, &[String])>,
+        prefilled: Vec<Option<JournaledOutcome>>,
+        fault: &(dyn Fn(usize) + Sync),
+    ) -> (SuiteRun, Option<std::io::Error>) {
+        let n = self.configs.len();
+        debug_assert_eq!(prefilled.len(), n);
         let threads = self.effective_threads();
         let started = Instant::now();
-        let outcomes = scoped_map(&self.configs, threads, |_, cfg| run_experiment(cfg));
-        let wall_seconds = started.elapsed().as_secs_f64();
 
-        let mut results = Vec::with_capacity(outcomes.len());
-        let mut per_wall = Vec::with_capacity(outcomes.len());
+        let mut finals: Vec<Option<JournaledOutcome>> = prefilled;
+        let mut histories: Vec<Vec<ExperimentError>> = vec![Vec::new(); n];
+        let mut pending: Vec<usize> = (0..n).filter(|&i| finals[i].is_none()).collect();
+        let mut retries = 0u64;
+        let mut journal_error: Option<std::io::Error> = None;
+        let max_attempts = self.retry.max_attempts.max(1);
+
+        for attempt in 1..=max_attempts {
+            if pending.is_empty() {
+                break;
+            }
+            if attempt > 1 {
+                retries += pending.len() as u64;
+                let ms = self.retry.backoff_ms(attempt);
+                if ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+            }
+            let batch: Vec<&ExperimentConfig> = pending.iter().map(|&i| &self.configs[i]).collect();
+            let mut next_pending: Vec<usize> = Vec::new();
+            scoped_map_observed(
+                &batch,
+                threads.min(batch.len()).max(1),
+                &|_, cfg: &&ExperimentConfig| run_experiment(cfg),
+                fault,
+                |k, outcome| {
+                    let i = pending[k];
+                    // Flatten panic (outer) and config (inner) failures
+                    // into the one typed error channel.
+                    let entry: JournaledOutcome = match &outcome.value {
+                        Ok(inner) => inner.clone(),
+                        // scoped_map prefixes its message with
+                        // "panicked: "; the variant already says that.
+                        Err(message) => Err(ExperimentError::Panicked {
+                            message: message
+                                .strip_prefix("panicked: ")
+                                .map_or(message.clone(), str::to_owned),
+                        }),
+                    };
+                    let finalised: Option<JournaledOutcome> = match entry {
+                        Ok(res) => Some(Ok(res)),
+                        Err(e) if !RetryPolicy::is_transient(&e) => Some(Err(e)),
+                        // Transient, but retries were never requested:
+                        // keep the plain error (quarantine describes an
+                        // exhausted retry budget, not its absence).
+                        Err(e) if max_attempts == 1 => Some(Err(e)),
+                        Err(e) => {
+                            histories[i].push(e);
+                            if attempt == max_attempts {
+                                Some(Err(ExperimentError::Quarantined {
+                                    attempts: std::mem::take(&mut histories[i]),
+                                }))
+                            } else {
+                                next_pending.push(i);
+                                None
+                            }
+                        }
+                    };
+                    if let Some(entry) = finalised {
+                        // Journal the outcome *now* — crash safety means a
+                        // kill one experiment later must not lose this one.
+                        if let Some((j, fps)) = journal.as_mut() {
+                            if let Err(e) = j.record(&fps[i], &entry) {
+                                journal_error.get_or_insert(e);
+                            }
+                        }
+                        finals[i] = Some(entry);
+                    }
+                },
+            );
+            // Completion order is scheduling-dependent; retry rounds are
+            // re-sorted so the retry sequence stays deterministic.
+            next_pending.sort_unstable();
+            pending = next_pending;
+        }
+
+        let wall_seconds = started.elapsed().as_secs_f64();
+        let mut results = Vec::with_capacity(n);
+        let mut per_wall = Vec::with_capacity(n);
         let (mut flows, mut events, mut iters) = (0u64, 0u64, 0u64);
         let mut experiment_wall = 0.0;
         let mut metrics: Option<SuiteMetrics> = None;
-        for outcome in outcomes {
-            // Flatten panic (outer) and config (inner) failures into one
-            // typed error channel: callers see `Err` either way, with a
-            // panic distinguishable from an input error.
-            let entry = match outcome.value {
-                Ok(inner) => inner,
-                // scoped_map prefixes its message with "panicked: "; the
-                // variant already says that.
-                Err(message) => Err(ExperimentError::Panicked {
-                    message: message
-                        .strip_prefix("panicked: ")
-                        .map_or(message.clone(), str::to_owned),
-                }),
-            };
+        for entry in finals {
+            let entry = entry.expect("every entry finalised by the retry loop");
             if let Ok(res) = &entry {
                 flows += res.flows;
                 events += res.events;
@@ -230,10 +465,16 @@ impl ExperimentSuite {
         }
 
         let succeeded = results.iter().filter(|r| r.is_ok()).count() as u64;
+        let quarantined = results
+            .iter()
+            .filter(|r| matches!(r, Err(ExperimentError::Quarantined { .. })))
+            .count() as u64;
         let report = SuiteReport {
-            experiments: results.len() as u64,
+            experiments: n as u64,
             succeeded,
-            failed: results.len() as u64 - succeeded,
+            failed: n as u64 - succeeded,
+            retries,
+            quarantined,
             threads: threads as u64,
             wall_seconds,
             experiment_wall_seconds: experiment_wall,
@@ -248,7 +489,7 @@ impl ExperimentSuite {
             per_experiment_wall_seconds: per_wall,
             metrics,
         };
-        SuiteRun { results, report }
+        (SuiteRun { results, report }, journal_error)
     }
 }
 
@@ -267,7 +508,33 @@ pub struct MapOutcome<U> {
 /// binaries also use it directly to fan out grid points that are not
 /// full experiments (distance surveys, cost sweeps). With `threads == 1`
 /// everything runs serially on the calling thread — no spawn at all.
+///
+/// A worker thread that dies outright (a panic outside the per-item
+/// isolation — an invariant violation in the pool itself, not in `f`)
+/// strands only the item it had claimed: that slot comes back as an
+/// `Err` naming the dead worker, and the other workers drain the rest.
 pub fn scoped_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<MapOutcome<U>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    scoped_map_observed(items, threads, &f, &|_| {}, |_, _| {})
+}
+
+/// [`scoped_map`] with two hooks: `fault(i)` runs on the worker thread
+/// after claiming index `i`, *outside* the panic isolation (tests panic
+/// here to simulate a dying worker); `observe(i, &outcome)` runs on the
+/// **calling** thread the moment item `i`'s outcome arrives — including
+/// synthesized outcomes for indices stranded by a dead worker — so
+/// callers can act on completions (journaling) before the batch ends.
+fn scoped_map_observed<T, U, F>(
+    items: &[T],
+    threads: usize,
+    f: &F,
+    fault: &(dyn Fn(usize) + Sync),
+    mut observe: impl FnMut(usize, &MapOutcome<U>),
+) -> Vec<MapOutcome<U>>
 where
     T: Sync,
     U: Send,
@@ -284,40 +551,79 @@ where
     };
 
     if threads <= 1 || items.len() <= 1 {
+        // Serial path: no worker threads exist, so the fault hook (which
+        // models a *worker* dying) does not apply.
         return items
             .iter()
             .enumerate()
-            .map(|(i, item)| run_one(i, item))
+            .map(|(i, item)| {
+                let outcome = run_one(i, item);
+                observe(i, &outcome);
+                outcome
+            })
             .collect();
     }
 
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<MapOutcome<U>>> = (0..items.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut mine = Vec::new();
-                    loop {
+    let mut dead_workers: Vec<String> = Vec::new();
+    {
+        let next = &next;
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, MapOutcome<U>)>();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let tx = tx.clone();
+                    scope.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
-                        mine.push((i, run_one(i, item)));
-                    }
-                    mine
+                        // Outside catch_unwind: a panic here kills this
+                        // worker, stranding index i (handled below).
+                        fault(i);
+                        let outcome = run_one(i, item);
+                        if tx.send((i, outcome)).is_err() {
+                            break;
+                        }
+                    })
                 })
-            })
-            .collect();
-        for worker in workers {
-            // Worker closures don't panic (user panics are caught inside
-            // run_one), so join can only fail on abort-level conditions.
-            for (i, outcome) in worker.join().expect("suite worker died") {
+                .collect();
+            drop(tx);
+            // Drain on the calling thread as outcomes arrive; the channel
+            // closes once every worker has exited (dead or alive).
+            for (i, outcome) in rx {
+                observe(i, &outcome);
                 slots[i] = Some(outcome);
             }
-        }
-    });
+            for worker in workers {
+                if let Err(payload) = worker.join() {
+                    dead_workers.push(panic_message(payload.as_ref()).to_owned());
+                }
+            }
+        });
+    }
+
+    // Indices a dead worker claimed but never reported.
+    let detail = if dead_workers.is_empty() {
+        "unknown cause".to_owned()
+    } else {
+        dead_workers.join("; ")
+    };
     slots
         .into_iter()
-        .map(|s| s.expect("every index claimed by exactly one worker"))
+        .enumerate()
+        .map(|(i, slot)| match slot {
+            Some(outcome) => outcome,
+            None => {
+                let outcome = MapOutcome {
+                    value: Err(format!(
+                        "panicked: worker thread died before reporting this entry ({detail})"
+                    )),
+                    wall_seconds: 0.0,
+                };
+                observe(i, &outcome);
+                outcome
+            }
+        })
         .collect()
 }
 
@@ -386,6 +692,8 @@ mod tests {
         assert!(run.results[2].is_ok());
         assert_eq!(run.report.succeeded, 2);
         assert_eq!(run.report.failed, 1);
+        assert_eq!(run.report.retries, 0);
+        assert_eq!(run.report.quarantined, 0);
         assert_eq!(run.report.per_experiment_wall_seconds[1], 0.0);
     }
 
@@ -407,6 +715,43 @@ mod tests {
     }
 
     #[test]
+    fn dead_worker_strands_only_its_claimed_item() {
+        let items = vec![1u32, 2, 3, 4, 5, 6];
+        let out = scoped_map_observed(
+            &items,
+            2,
+            &|_, &x: &u32| x * 10,
+            &|i| {
+                if i == 2 {
+                    panic!("injected worker death");
+                }
+            },
+            |_, _| {},
+        );
+        assert_eq!(out.len(), 6, "every index must come back");
+        for (i, o) in out.iter().enumerate() {
+            if i == 2 {
+                let err = o.value.as_ref().unwrap_err();
+                assert!(err.contains("worker thread died"), "{err}");
+                assert!(err.contains("injected worker death"), "{err}");
+            } else {
+                assert_eq!(o.value, Ok(items[i] * 10), "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn observe_sees_every_outcome_exactly_once() {
+        let items: Vec<u32> = (0..16).collect();
+        let mut seen = vec![0u32; items.len()];
+        scoped_map_observed(&items, 4, &|_, &x: &u32| x, &|_| {}, |i, outcome| {
+            seen[i] += 1;
+            assert_eq!(outcome.value, Ok(i as u32));
+        });
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
     fn more_threads_than_work_is_fine() {
         let run = ExperimentSuite::new(vec![cfg(vec![4, 4], 8)])
             .threads(64)
@@ -424,5 +769,66 @@ mod tests {
         let back: SuiteReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.experiments, 1);
         assert_eq!(back.events, run.report.events);
+        assert_eq!(back.retries, 0);
+        assert_eq!(back.quarantined, 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential_with_deterministic_jitter() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 400,
+            seed: 7,
+        };
+        // No wait before the first attempt.
+        assert_eq!(p.backoff_ms(1), 0);
+        // Deterministic: same inputs, same waits.
+        assert_eq!(p.backoff_ms(2), p.backoff_ms(2));
+        for attempt in 2..=10 {
+            let ms = p.backoff_ms(attempt);
+            let exp = (100u64 << (attempt - 2).min(10)).min(400);
+            assert!(
+                ms >= exp && ms <= exp + 100,
+                "attempt {attempt}: {ms} outside [{exp}, {}]",
+                exp + 100
+            );
+        }
+        // Zero base means zero wait regardless of attempt.
+        assert_eq!(RetryPolicy::default().backoff_ms(5), 0);
+        // Huge attempt numbers must not overflow the shift.
+        let _ = p.backoff_ms(u32::MAX);
+    }
+
+    #[test]
+    fn transient_classification_matches_the_retry_contract() {
+        use exaflow_sim::SimError;
+        assert!(RetryPolicy::is_transient(&ExperimentError::Panicked {
+            message: "x".into()
+        }));
+        assert!(RetryPolicy::is_transient(&ExperimentError::Sim {
+            sim: SimError::DeadlineExceeded {
+                wall_limit_s: 1.0,
+                events: 0,
+                time: 0.0,
+                delivered_bytes: 0,
+                flows_completed: 0,
+            }
+        }));
+        // Deterministic failures re-run to the same error: never retried.
+        assert!(!RetryPolicy::is_transient(&ExperimentError::Sim {
+            sim: SimError::BudgetExhausted {
+                max_events: 1,
+                events: 1,
+                time: 0.0,
+                delivered_bytes: 0,
+                flows_completed: 0,
+            }
+        }));
+        assert!(!RetryPolicy::is_transient(&ExperimentError::TooManyTasks {
+            tasks: 9,
+            endpoints: 4,
+            topology: "t".into(),
+        }));
     }
 }

@@ -20,6 +20,16 @@ use std::time::Instant;
 /// pair; failed routes are kept so admission re-reports the same error.
 type PrefetchedRoutes = HashMap<(u32, u32), Result<Arc<[u32]>, SimError>>;
 
+/// Bytes no longer outstanding at a cut point: total workload bytes minus
+/// the bits still `remaining`. Finished flows have zero remaining, partial
+/// flows contribute their transferred prefix, and skipped flows (whose
+/// remaining is zeroed at retirement) count as accounted-for.
+fn bytes_accounted(dag: &FlowDag, remaining: &[f64]) -> u64 {
+    let total_bits: f64 = dag.flows().iter().map(|f| f.bytes as f64 * 8.0).sum();
+    let outstanding_bits: f64 = remaining.iter().sum();
+    (((total_bits - outstanding_bits) / 8.0).max(0.0)) as u64
+}
+
 /// Engine configuration.
 ///
 /// Deserialization validates the numeric fields (see
@@ -97,6 +107,21 @@ pub struct SimConfig {
     /// equivalence suites).
     #[serde(default)]
     pub solver_threads: usize,
+    /// Deterministic event budget: the run stops with a typed
+    /// [`SimError::BudgetExhausted`] once this many events have been
+    /// processed without every flow resolving. `None` (the default) means
+    /// unlimited. Because the event sequence is deterministic, the same
+    /// config trips at exactly the same point on every host.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_events: Option<u64>,
+    /// Wall-clock deadline, seconds: the run stops with a typed
+    /// [`SimError::DeadlineExceeded`] once this much real time has elapsed
+    /// without every flow resolving. Checked at event boundaries, so a
+    /// stuck cell becomes a diagnosable suite entry instead of a hung
+    /// sweep. `None` (the default) means unlimited. Host-speed dependent —
+    /// suites treat it as transient and may retry.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_wall_s: Option<f64>,
 }
 
 fn default_true() -> bool {
@@ -150,6 +175,15 @@ impl SimConfig {
                 "must be finite and within 0..=1",
             ));
         }
+        if let Some(limit) = self.max_wall_s {
+            if !(limit.is_finite() && limit > 0.0) {
+                return Err(SimError::invalid_config(
+                    "max_wall_s",
+                    limit,
+                    "must be finite and > 0",
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -178,6 +212,8 @@ impl Default for SimConfig {
             incremental_full_threshold: 0.5,
             trace: false,
             solver_threads: 0,
+            max_events: None,
+            max_wall_s: None,
         }
     }
 }
@@ -209,6 +245,10 @@ struct SimConfigUnchecked {
     trace: bool,
     #[serde(default)]
     solver_threads: usize,
+    #[serde(default)]
+    max_events: Option<u64>,
+    #[serde(default)]
+    max_wall_s: Option<f64>,
 }
 
 impl serde::de::Deserialize for SimConfig {
@@ -229,6 +269,8 @@ impl serde::de::Deserialize for SimConfig {
             incremental_full_threshold: raw.incremental_full_threshold,
             trace: raw.trace,
             solver_threads: raw.solver_threads,
+            max_events: raw.max_events,
+            max_wall_s: raw.max_wall_s,
         };
         cfg.validate().map_err(serde::de::Error::custom)?;
         Ok(cfg)
@@ -522,6 +564,10 @@ impl<'a> Simulator<'a> {
         let mut now = 0.0f64;
         let mut completed = 0usize;
         let mut events = 0u64;
+        // Wall-clock deadline, armed once per run; checked (together with
+        // the event budget) at every event boundary so a runaway cell
+        // terminates with a typed error instead of hanging its worker.
+        let wall_deadline = self.cfg.max_wall_s.map(|limit| (Instant::now(), limit));
         let mut path_scratch: Vec<exaflow_netgraph::LinkId> = Vec::new();
         let latency_model = self.cfg.per_hop_latency_s > 0.0 || self.cfg.startup_latency_s > 0.0;
 
@@ -953,6 +999,36 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 continue;
+            }
+
+            // Cooperative cancellation: both limits are checked at the event
+            // boundary, after `events` boundaries have been fully processed
+            // and before the next solve starts, so a cut run is a prefix of
+            // the uninterrupted one. The budget check is deterministic (the
+            // event sequence is); the deadline is host-speed dependent.
+            if let Some(max) = self.cfg.max_events {
+                if events >= max {
+                    emit!(TraceEvent::BudgetExhausted { t: now, events });
+                    return Err(SimError::BudgetExhausted {
+                        max_events: max,
+                        events,
+                        time: now,
+                        delivered_bytes: bytes_accounted(dag, &remaining),
+                        flows_completed: completed as u64,
+                    });
+                }
+            }
+            if let Some((start, limit)) = wall_deadline {
+                if start.elapsed().as_secs_f64() >= limit {
+                    emit!(TraceEvent::DeadlineExceeded { t: now, events });
+                    return Err(SimError::DeadlineExceeded {
+                        wall_limit_s: limit,
+                        events,
+                        time: now,
+                        delivered_bytes: bytes_accounted(dag, &remaining),
+                        flows_completed: completed as u64,
+                    });
+                }
             }
 
             events += 1;
@@ -1440,6 +1516,166 @@ mod tests {
             SimError::InvalidConfig { field, .. } => assert_eq!(field, "injection_bps"),
             other => panic!("expected InvalidConfig, got {other:?}"),
         }
+    }
+
+    /// Three independent flows with distinct sizes: three separate
+    /// completion events, so a budget of 1 cuts after the first.
+    fn staggered_dag() -> FlowDag {
+        let mut b = FlowDagBuilder::new();
+        b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+        b.add_flow(NodeId(2), NodeId(3), mb(2), &[]);
+        b.add_flow(NodeId(4), NodeId(5), mb(3), &[]);
+        b.build()
+    }
+
+    #[test]
+    fn event_budget_trips_deterministically_with_progress() {
+        let topo = Torus::new(&[8]);
+        let cfg = SimConfig {
+            max_events: Some(1),
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let run = || sim.run(&staggered_dag()).unwrap_err();
+        let err = run();
+        match &err {
+            SimError::BudgetExhausted {
+                max_events,
+                events,
+                time,
+                delivered_bytes,
+                flows_completed,
+            } => {
+                assert_eq!(*max_events, 1);
+                assert_eq!(*events, 1);
+                // The first event retires the smallest flow; the others
+                // made equal progress on their disjoint paths.
+                assert_eq!(*flows_completed, 1);
+                assert!(*time > 0.0);
+                assert!(*delivered_bytes >= mb(1));
+                assert!(*delivered_bytes < mb(6));
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // Deterministic: the same config cuts at exactly the same point.
+        assert_eq!(run(), err);
+        // A sufficient budget completes normally.
+        let roomy = Simulator::with_config(
+            &topo,
+            SimConfig {
+                max_events: Some(1000),
+                ..SimConfig::default()
+            },
+        );
+        assert!(roomy.run(&staggered_dag()).is_ok());
+    }
+
+    #[test]
+    fn zero_event_budget_stops_before_any_work() {
+        let topo = Torus::new(&[8]);
+        let cfg = SimConfig {
+            max_events: Some(0),
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        match sim.run(&staggered_dag()).unwrap_err() {
+            SimError::BudgetExhausted {
+                events,
+                time,
+                flows_completed,
+                delivered_bytes,
+                ..
+            } => {
+                assert_eq!(events, 0);
+                assert_eq!(time, 0.0);
+                assert_eq!(flows_completed, 0);
+                assert_eq!(delivered_bytes, 0);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_deadline_surfaces_as_typed_error() {
+        let topo = Torus::new(&[8]);
+        let cfg = SimConfig {
+            // Far below the granularity of any host clock: the first
+            // event-boundary check always trips.
+            max_wall_s: Some(1e-12),
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        match sim.run(&staggered_dag()).unwrap_err() {
+            SimError::DeadlineExceeded {
+                wall_limit_s,
+                events,
+                flows_completed,
+                ..
+            } => {
+                assert_eq!(wall_limit_s, 1e-12);
+                assert_eq!(events, 0);
+                assert_eq!(flows_completed, 0);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_cut_trace_ends_terminal_and_passes_the_oracle() {
+        use crate::trace::VecSink;
+        use crate::trace_check::check_trace;
+        let topo = Torus::new(&[8]);
+        let cfg = SimConfig {
+            max_events: Some(1),
+            ..SimConfig::default()
+        };
+        let sim = Simulator::with_config(&topo, cfg);
+        let mut sink = VecSink::new();
+        let err = sim.run_traced(&staggered_dag(), &mut sink).unwrap_err();
+        assert!(matches!(err, SimError::BudgetExhausted { .. }));
+        let events = sink.into_events();
+        assert!(
+            matches!(events.last(), Some(TraceEvent::BudgetExhausted { .. })),
+            "trace must end with the terminal cut event"
+        );
+        let summary = check_trace(&events).unwrap();
+        assert!(summary.terminated);
+        assert_eq!(summary.flows_finished, 1);
+    }
+
+    #[test]
+    fn invalid_max_wall_s_is_invalid_config() {
+        let topo = Torus::new(&[4]);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let cfg = SimConfig {
+                max_wall_s: Some(bad),
+                ..SimConfig::default()
+            };
+            let sim = Simulator::with_config(&topo, cfg);
+            let mut b = FlowDagBuilder::new();
+            b.add_flow(NodeId(0), NodeId(1), mb(1), &[]);
+            match sim.run(&b.build()).unwrap_err() {
+                SimError::InvalidConfig { field, .. } => assert_eq!(field, "max_wall_s"),
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unset_limits_stay_out_of_serialized_config() {
+        // `None` limits must not appear in JSON: pinned golden outputs
+        // (scripts/golden_run_expected.json) predate these fields.
+        let json = serde_json::to_string(&SimConfig::default()).unwrap();
+        assert!(!json.contains("max_events"), "{json}");
+        assert!(!json.contains("max_wall_s"), "{json}");
+        let cfg = SimConfig {
+            max_events: Some(42),
+            max_wall_s: Some(1.5),
+            ..SimConfig::default()
+        };
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

@@ -68,6 +68,42 @@ pub enum SimError {
         /// A flow that was traversing (or scheduled to traverse) the link.
         flow: u32,
     },
+    /// The run hit the deterministic event budget
+    /// ([`SimConfig::max_events`](crate::SimConfig)) before every flow
+    /// resolved. Carries progress-so-far so a runaway sweep cell becomes a
+    /// diagnosable entry instead of a hang.
+    BudgetExhausted {
+        /// The configured event budget that was exhausted.
+        max_events: u64,
+        /// Events processed before the run stopped (equals `max_events`).
+        events: u64,
+        /// Simulated time at the cut point.
+        time: f64,
+        /// Bytes no longer outstanding at the cut point (delivered by
+        /// finished flows plus progress on in-flight ones; skipped flows
+        /// count as accounted-for).
+        delivered_bytes: u64,
+        /// Flows that fully completed before the budget ran out.
+        flows_completed: u64,
+    },
+    /// The run exceeded the wall-clock deadline
+    /// ([`SimConfig::max_wall_s`](crate::SimConfig)) before every flow
+    /// resolved. Non-deterministic by nature (depends on host speed);
+    /// suites treat it as transient and may retry.
+    DeadlineExceeded {
+        /// The configured wall-clock limit, in seconds.
+        wall_limit_s: f64,
+        /// Events processed before the run stopped.
+        events: u64,
+        /// Simulated time at the cut point.
+        time: f64,
+        /// Bytes no longer outstanding at the cut point (delivered by
+        /// finished flows plus progress on in-flight ones; skipped flows
+        /// count as accounted-for).
+        delivered_bytes: u64,
+        /// Flows that fully completed before the deadline passed.
+        flows_completed: u64,
+    },
     /// Active flows exist but none can make progress (all rates zero).
     /// Defensive: unreachable once capacities and configs are validated,
     /// but reported as a value rather than a panic just in case.
@@ -125,6 +161,28 @@ impl fmt::Display for SimError {
                 f,
                 "link {link} lost at t={time} while flow {flow} was in flight (policy: abort)"
             ),
+            SimError::BudgetExhausted {
+                max_events,
+                events: _,
+                time,
+                delivered_bytes,
+                flows_completed,
+            } => write!(
+                f,
+                "event budget of {max_events} exhausted at t={time} \
+                 ({flows_completed} flows completed, {delivered_bytes} bytes delivered)"
+            ),
+            SimError::DeadlineExceeded {
+                wall_limit_s,
+                events,
+                time,
+                delivered_bytes,
+                flows_completed,
+            } => write!(
+                f,
+                "wall-clock deadline of {wall_limit_s}s exceeded at t={time} after {events} \
+                 events ({flows_completed} flows completed, {delivered_bytes} bytes delivered)"
+            ),
             SimError::Stalled {
                 time,
                 flows,
@@ -178,6 +236,42 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("link 42"), "{s}");
         assert!(s.contains("flow 7"), "{s}");
+    }
+
+    #[test]
+    fn budget_exhausted_roundtrips() {
+        let e = SimError::BudgetExhausted {
+            max_events: 100,
+            events: 100,
+            time: 0.5,
+            delivered_bytes: 4096,
+            flows_completed: 3,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"budget_exhausted\""), "{json}");
+        let back: SimError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        let s = e.to_string();
+        assert!(s.contains("budget of 100"), "{s}");
+        assert!(s.contains("4096 bytes"), "{s}");
+    }
+
+    #[test]
+    fn deadline_exceeded_roundtrips() {
+        let e = SimError::DeadlineExceeded {
+            wall_limit_s: 2.5,
+            events: 17,
+            time: 0.25,
+            delivered_bytes: 1024,
+            flows_completed: 1,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"deadline_exceeded\""), "{json}");
+        let back: SimError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        let s = e.to_string();
+        assert!(s.contains("2.5s"), "{s}");
+        assert!(s.contains("17 events"), "{s}");
     }
 
     #[test]

@@ -95,6 +95,15 @@ pub enum TraceEvent {
         path: Vec<u32>,
         restarted: bool,
     },
+    /// Terminal: the run stopped at its deterministic event budget
+    /// ([`SimConfig::max_events`](crate::SimConfig)). No event may follow;
+    /// unresolved flows are cut, not lost — the oracle checks conservation
+    /// up to this point and waives the completeness check.
+    BudgetExhausted { t: f64, events: u64 },
+    /// Terminal: the run stopped at its wall-clock deadline
+    /// ([`SimConfig::max_wall_s`](crate::SimConfig)). Same trace semantics
+    /// as [`TraceEvent::BudgetExhausted`].
+    DeadlineExceeded { t: f64, events: u64 },
 }
 
 impl TraceEvent {
@@ -111,7 +120,9 @@ impl TraceEvent {
             | TraceEvent::RateRecompute { t, .. }
             | TraceEvent::FaultApplied { t, .. }
             | TraceEvent::FaultCleared { t, .. }
-            | TraceEvent::RerouteTaken { t, .. } => Some(*t),
+            | TraceEvent::RerouteTaken { t, .. }
+            | TraceEvent::BudgetExhausted { t, .. }
+            | TraceEvent::DeadlineExceeded { t, .. } => Some(*t),
         }
     }
 }
@@ -294,6 +305,8 @@ pub struct MetricsRegistry {
     pub reroutes: u64,
     pub rate_recomputes: u64,
     pub full_passes: u64,
+    pub budget_exhausted: u64,
+    pub deadline_exceeded: u64,
     pub solver_seconds_total: f64,
     pub peak_resource_utilization: f64,
     solver_seconds: Histogram,
@@ -323,6 +336,8 @@ impl MetricsRegistry {
             TraceEvent::FaultApplied { .. } => self.faults_applied += 1,
             TraceEvent::FaultCleared { .. } => self.faults_cleared += 1,
             TraceEvent::RerouteTaken { .. } => self.reroutes += 1,
+            TraceEvent::BudgetExhausted { .. } => self.budget_exhausted += 1,
+            TraceEvent::DeadlineExceeded { .. } => self.deadline_exceeded += 1,
         }
     }
 
@@ -354,6 +369,8 @@ impl MetricsRegistry {
             reroutes: self.reroutes,
             rate_recomputes: self.rate_recomputes,
             full_passes: self.full_passes,
+            budget_exhausted: self.budget_exhausted,
+            deadline_exceeded: self.deadline_exceeded,
             solver_threads: 0,
             parallel_solves: 0,
             solver_seconds_total: self.solver_seconds_total,
@@ -388,6 +405,12 @@ pub struct MetricsSnapshot {
     pub rate_recomputes: u64,
     /// Recomputations that degraded to a full pass over all live entries.
     pub full_passes: u64,
+    /// Runs cut by the deterministic event budget (0 or 1 per run).
+    #[serde(default)]
+    pub budget_exhausted: u64,
+    /// Runs cut by the wall-clock deadline (0 or 1 per run).
+    #[serde(default)]
+    pub deadline_exceeded: u64,
     /// Worker threads the run used (stamped by the engine at snapshot
     /// time; the registry itself never sees the pool).
     #[serde(default)]

@@ -48,6 +48,10 @@ pub struct TraceSummary {
     pub max_utilization: f64,
     /// Simulated time of the last event.
     pub end_time_s: f64,
+    /// The trace ends in a terminal `budget_exhausted` /
+    /// `deadline_exceeded` event: a legal cut, not a complete run, so
+    /// mid-flight flows are permitted at end of trace.
+    pub terminated: bool,
 }
 
 /// A broken invariant: which event tripped it and why.
@@ -213,6 +217,12 @@ fn check_inner(
     };
 
     for (i, ev) in events.iter().enumerate() {
+        if summary.terminated {
+            return Err(fail(
+                Some(i),
+                format!("event {ev:?} after a terminal budget/deadline cut"),
+            ));
+        }
         if let Some(t) = ev.time() {
             if t < last_t {
                 return Err(fail(
@@ -468,16 +478,25 @@ fn check_inner(
                 }
                 summary.reroutes += 1;
             }
+            TraceEvent::BudgetExhausted { .. } | TraceEvent::DeadlineExceeded { .. } => {
+                // Legal cut point: everything up to here obeyed the
+                // invariants (monotone time, conservation, capacities);
+                // the run just did not get to finish. Nothing may follow.
+                summary.terminated = true;
+            }
         }
     }
 
-    // A complete run leaves no flow mid-flight.
-    for (f, r) in replay.iter().enumerate() {
-        if matches!(r.state, FlowState::Activated | FlowState::Started) {
-            return Err(fail(
-                None,
-                format!("flow {f} never resolved (trace ends in {:?})", r.state),
-            ));
+    // A complete run leaves no flow mid-flight; a budget/deadline cut is
+    // allowed to — conservation was checked up to the cut point.
+    if !summary.terminated {
+        for (f, r) in replay.iter().enumerate() {
+            if matches!(r.state, FlowState::Activated | FlowState::Started) {
+                return Err(fail(
+                    None,
+                    format!("flow {f} never resolved (trace ends in {:?})", r.state),
+                ));
+            }
         }
     }
     summary.end_time_s = last_t;
@@ -681,5 +700,83 @@ mod tests {
         t.push(TraceEvent::FlowSkipped { t: 0.0, flow: 0 });
         let s = check_trace_with_topology(&t, &topo).unwrap();
         assert_eq!(s.flows_skipped, 1);
+    }
+
+    #[test]
+    fn budget_terminated_trace_is_legal_despite_midflight_flows() {
+        // Flow 0 starts but never finishes; the terminal cut makes that OK.
+        let t = vec![
+            header(1),
+            activated(0, 0.0),
+            TraceEvent::FlowStarted {
+                t: 0.0,
+                flow: 0,
+                path: vec![2, 0, 5],
+            },
+            TraceEvent::RateRecompute {
+                t: 0.0,
+                flows: vec![0],
+                rates_bps: vec![1e9],
+                entries_solved: 1,
+                full_pass: true,
+            },
+            TraceEvent::BudgetExhausted { t: 4e-6, events: 1 },
+        ];
+        let s = check_trace(&t).unwrap();
+        assert!(s.terminated);
+        assert_eq!(s.flows_activated, 1);
+        assert_eq!(s.flows_finished, 0);
+        assert_eq!(s.end_time_s, 4e-6);
+
+        // Without the terminal event the same trace is incomplete.
+        let incomplete = &t[..t.len() - 1];
+        let err = check_trace(incomplete).unwrap_err();
+        assert!(err.message.contains("never resolved"), "{err}");
+    }
+
+    #[test]
+    fn deadline_terminated_trace_still_checks_conservation_to_the_cut() {
+        // 1000 bytes at 1e9 bps finish at 8e-6; claiming completion after a
+        // deadline cut placed *before* enough bytes flowed must still fail.
+        let t = vec![
+            header(1),
+            activated(0, 0.0),
+            TraceEvent::FlowStarted {
+                t: 0.0,
+                flow: 0,
+                path: vec![2, 0, 5],
+            },
+            TraceEvent::RateRecompute {
+                t: 0.0,
+                flows: vec![0],
+                rates_bps: vec![1e9],
+                entries_solved: 1,
+                full_pass: true,
+            },
+            TraceEvent::FlowFinished { t: 1e-6, flow: 0 },
+            TraceEvent::DeadlineExceeded { t: 1e-6, events: 2 },
+        ];
+        let err = check_trace(&t).unwrap_err();
+        assert!(err.message.contains("delivered"), "{err}");
+
+        // Time must stay monotone across the terminal event too.
+        let backwards = vec![
+            header(0),
+            TraceEvent::FaultApplied { t: 1.0, link: 0 },
+            TraceEvent::DeadlineExceeded { t: 0.5, events: 1 },
+        ];
+        let err = check_trace(&backwards).unwrap_err();
+        assert!(err.message.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn events_after_a_terminal_cut_are_rejected() {
+        let t = vec![
+            header(1),
+            TraceEvent::BudgetExhausted { t: 0.0, events: 0 },
+            activated(0, 0.0),
+        ];
+        let err = check_trace(&t).unwrap_err();
+        assert!(err.message.contains("after a terminal"), "{err}");
     }
 }

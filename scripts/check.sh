@@ -4,27 +4,34 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Every long-running step runs under a hard timeout: a hung test (deadlocked
+# worker pool, wedged child process) must fail the gate, not stall it.
+TIMEOUT="timeout -k 30"
+
 echo "== cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "== cargo clippy (-D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+$TIMEOUT 1800 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo test"
-cargo test -q --workspace
+$TIMEOUT 1800 cargo test -q --workspace
 
 echo "== engine equivalence with EXAFLOW_THREADS=1 (forced-sequential auto pool)"
-EXAFLOW_THREADS=1 cargo test -q -p exaflow-suite --test engine_equiv
+EXAFLOW_THREADS=1 $TIMEOUT 900 cargo test -q -p exaflow-suite --test engine_equiv
 
 echo "== engine equivalence with the default thread count"
-cargo test -q -p exaflow-suite --test engine_equiv
+$TIMEOUT 900 cargo test -q -p exaflow-suite --test engine_equiv
+
+echo "== crash-safety gate: kill-and-resume, torn journals, retry/quarantine"
+$TIMEOUT 900 cargo test -q -p exaflow-cli --test cli campaign
 
 echo "== cargo bench --no-run (benches must keep compiling)"
-cargo bench --workspace --no-run
+$TIMEOUT 1800 cargo bench --workspace --no-run
 
 echo "== tracing-off output is bit-identical to the pinned pre-tracing run"
 cargo build -q --release -p exaflow-cli
-./target/release/exaflow run scripts/golden_run_config.json \
+$TIMEOUT 300 ./target/release/exaflow run scripts/golden_run_config.json \
   | grep -v '"wall_seconds"' \
   | diff -u scripts/golden_run_expected.json - \
   || { echo "untraced 'exaflow run' output drifted from scripts/golden_run_expected.json"; exit 1; }

@@ -1,0 +1,163 @@
+//! Property tests for the campaign-journal [`fingerprint`]: the resume
+//! key must be a pure function of the experiment's *content* — stable
+//! under serde round-trips and JSON key-order permutations — and distinct
+//! specs must never share a key (a collision would silently splice one
+//! experiment's journaled outcome into another's slot on resume).
+
+use exaflow::prelude::*;
+use proptest::strategy::Strategy;
+
+/// A generator over a diverse slice of the config space: torus shapes,
+/// workload families, mappings, seeds, and the budget/deadline knobs.
+fn config_strategy() -> impl Strategy<Value = ExperimentConfig> {
+    (
+        proptest::collection::vec(2u32..6, 1..4),
+        1u32..6,
+        1u64..1_000_000,
+        0u64..1_000,
+        0usize..3,
+        0usize..3,
+    )
+        .prop_map(
+            |(dims, log_tasks, bytes, seed, workload_kind, mapping_kind)| {
+                let tasks = 1usize << log_tasks;
+                let workload = match workload_kind {
+                    0 => WorkloadSpec::AllReduce { tasks, bytes },
+                    1 => WorkloadSpec::Reduce { tasks, bytes },
+                    _ => WorkloadSpec::UnstructuredApp {
+                        tasks,
+                        flows_per_task: 2,
+                        bytes,
+                        seed,
+                    },
+                };
+                let mapping = match mapping_kind {
+                    0 => MappingSpec::Linear,
+                    1 => MappingSpec::Strided { stride: 1 },
+                    _ => MappingSpec::Random { seed },
+                };
+                let mut sim = SimConfig::default();
+                // Exercise the optional budget knobs in the hashed surface.
+                if seed % 3 == 0 {
+                    sim.max_events = Some(seed + 1);
+                }
+                if seed % 4 == 0 {
+                    sim.max_wall_s = Some(60.0);
+                }
+                ExperimentConfig {
+                    topology: TopologySpec::Torus { dims },
+                    workload,
+                    mapping,
+                    sim,
+                    failures: if seed % 5 == 0 {
+                        Some(FailureSpec { count: 1, seed })
+                    } else {
+                        None
+                    },
+                    fault_injection: None,
+                }
+            },
+        )
+}
+
+/// Re-encode `v` with every object's key order reversed, recursively.
+/// The vendored serde_json `Map` preserves insertion order, so this
+/// produces a genuinely different byte stream for the same content.
+fn reverse_keys(v: &serde_json::Value) -> serde_json::Value {
+    use serde_json::{Map, Value};
+    match v {
+        Value::Object(map) => {
+            let mut out = Map::new();
+            let pairs: Vec<_> = map.iter().collect();
+            for (k, val) in pairs.into_iter().rev() {
+                out.insert(k.clone(), reverse_keys(val));
+            }
+            Value::Object(out)
+        }
+        Value::Array(items) => Value::Array(items.iter().map(reverse_keys).collect()),
+        leaf => leaf.clone(),
+    }
+}
+
+proptest::proptest! {
+    /// A config and its serde round-trip image fingerprint identically:
+    /// resuming with a journal written by a previous process (which
+    /// re-serialized the sweep file) must find every key.
+    #[test]
+    fn fingerprint_survives_serde_roundtrips(cfg in config_strategy()) {
+        let original = fingerprint(&cfg);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        proptest::prop_assert_eq!(&fingerprint(&back), &original);
+        // And a second hop, through Value this time.
+        let value = serde_json::to_value(&cfg).unwrap();
+        let again: ExperimentConfig = serde_json::from_str(
+            &serde_json::to_string(&value).unwrap(),
+        )
+        .unwrap();
+        proptest::prop_assert_eq!(&fingerprint(&again), &original);
+    }
+
+    /// Key order is presentation, not content: permuting every object's
+    /// keys in the JSON form must not move the fingerprint.
+    #[test]
+    fn fingerprint_ignores_json_key_order(cfg in config_strategy()) {
+        let permuted = serde_json::to_string(
+            &reverse_keys(&serde_json::to_value(&cfg).unwrap()),
+        )
+        .unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&permuted).unwrap();
+        proptest::prop_assert_eq!(fingerprint(&back), fingerprint(&cfg));
+    }
+
+    /// Distinct specs get distinct fingerprints over a generated corpus
+    /// (dedup by serialized form first: the generator may repeat itself).
+    #[test]
+    fn distinct_specs_never_collide(cfgs in proptest::collection::vec(config_strategy(), 2..40)) {
+        let mut seen: std::collections::HashMap<String, String> = std::collections::HashMap::new();
+        for cfg in &cfgs {
+            let content = serde_json::to_string(cfg).unwrap();
+            let fp = fingerprint(cfg);
+            if let Some(prior) = seen.get(&fp) {
+                // Same fingerprint must mean same content.
+                proptest::prop_assert_eq!(prior, &content, "collision on {}", fp);
+            }
+            seen.insert(fp, content);
+        }
+    }
+}
+
+/// A deliberately adversarial pair: same field *values* distributed
+/// differently across the spec must not collide (guards against a
+/// fingerprint that hashes values while forgetting which key owns them).
+#[test]
+fn value_swaps_change_the_fingerprint() {
+    let base = ExperimentConfig {
+        topology: TopologySpec::Torus { dims: vec![4, 4] },
+        workload: WorkloadSpec::AllReduce {
+            tasks: 8,
+            bytes: 64,
+        },
+        mapping: MappingSpec::Linear,
+        sim: SimConfig::default(),
+        failures: None,
+        fault_injection: None,
+    };
+    let mut swapped = base.clone();
+    swapped.workload = WorkloadSpec::AllReduce {
+        tasks: 64,
+        bytes: 8,
+    };
+    assert_ne!(fingerprint(&base), fingerprint(&swapped));
+
+    let mut reduced = base.clone();
+    reduced.workload = WorkloadSpec::Reduce {
+        tasks: 8,
+        bytes: 64,
+    };
+    assert_ne!(
+        fingerprint(&base),
+        fingerprint(&reduced),
+        "same params under a different variant tag must differ"
+    );
+}

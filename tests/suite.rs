@@ -162,6 +162,178 @@ fn suite_report_matches_results() {
     assert_eq!(back, run.report);
 }
 
+/// A worker thread dying outright (panic outside the per-experiment
+/// isolation — the bug class that used to take down the whole suite via
+/// `join().expect(...)`) must strand only the entry it had claimed.
+#[test]
+fn dead_worker_loses_only_its_own_entry() {
+    let configs = mixed_suite().into_iter().take(4).collect::<Vec<_>>();
+    let run = ExperimentSuite::new(configs.clone())
+        .threads(2)
+        .run_with_worker_fault(&|i| {
+            if i == 2 {
+                panic!("simulated worker abort");
+            }
+        });
+    assert_eq!(run.results.len(), 4, "every entry must come back");
+    for (i, r) in run.results.iter().enumerate() {
+        if i == 2 {
+            let err = r.as_ref().unwrap_err();
+            match err {
+                ExperimentError::Panicked { message } => {
+                    assert!(message.contains("worker thread died"), "{message}");
+                    assert!(message.contains("simulated worker abort"), "{message}");
+                }
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+        } else {
+            assert!(r.is_ok(), "entry {i} should be unaffected: {r:?}");
+        }
+    }
+    assert_eq!(run.report.succeeded, 3);
+    assert_eq!(run.report.failed, 1);
+
+    // The same fault under a retry policy recovers completely: the retry
+    // round re-runs the stranded entry on a fresh (serial) pass.
+    let run = ExperimentSuite::new(configs)
+        .threads(2)
+        .retry_policy(RetryPolicy {
+            max_attempts: 2,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            seed: 0,
+        })
+        .run_with_worker_fault(&|i| {
+            if i == 2 {
+                panic!("simulated worker abort");
+            }
+        });
+    assert!(run.results.iter().all(Result::is_ok), "{:?}", run.report);
+    assert_eq!(run.report.retries, 1);
+    assert_eq!(run.report.quarantined, 0);
+}
+
+fn tiny_config(scale: &SystemScale) -> ExperimentConfig {
+    ExperimentConfig {
+        topology: scale.torus_spec(),
+        workload: WorkloadSpec::AllReduce {
+            tasks: 32,
+            bytes: 1 << 16,
+        },
+        mapping: MappingSpec::Linear,
+        sim: SimConfig::default(),
+        failures: None,
+        fault_injection: None,
+    }
+}
+
+/// An entry that keeps blowing its wall-clock deadline is quarantined with
+/// its full attempt history instead of failing (or hanging) the campaign.
+#[test]
+fn deadline_overruns_quarantine_with_attempt_history() {
+    let scale = SystemScale::new(64).unwrap();
+    let mut doomed = tiny_config(&scale);
+    doomed.sim.max_wall_s = Some(1e-12);
+
+    let run = ExperimentSuite::new(vec![tiny_config(&scale), doomed])
+        .threads(1)
+        .retry_policy(RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+            seed: 0,
+        })
+        .run();
+    assert!(run.results[0].is_ok());
+    match run.results[1].as_ref().unwrap_err() {
+        ExperimentError::Quarantined { attempts } => {
+            assert_eq!(attempts.len(), 3, "one record per attempt");
+            for a in attempts {
+                assert!(
+                    matches!(
+                        a,
+                        ExperimentError::Sim {
+                            sim: SimError::DeadlineExceeded { .. }
+                        }
+                    ),
+                    "{a:?}"
+                );
+            }
+        }
+        other => panic!("expected Quarantined, got {other:?}"),
+    }
+    assert_eq!(run.report.retries, 2);
+    assert_eq!(run.report.quarantined, 1);
+    assert_eq!(run.report.failed, 1);
+}
+
+/// Budget exhaustion is deterministic — re-running it reproduces the same
+/// error — so the retry policy must not burn attempts on it.
+#[test]
+fn exhausted_event_budgets_are_not_retried() {
+    let scale = SystemScale::new(64).unwrap();
+    let mut capped = tiny_config(&scale);
+    capped.sim.max_events = Some(1);
+
+    let run = ExperimentSuite::new(vec![capped])
+        .threads(1)
+        .retry_policy(RetryPolicy::attempts(5))
+        .run();
+    match run.results[0].as_ref().unwrap_err() {
+        ExperimentError::Sim {
+            sim: SimError::BudgetExhausted { max_events, .. },
+        } => assert_eq!(*max_events, 1),
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+    assert_eq!(run.report.retries, 0, "deterministic errors never retry");
+    assert_eq!(run.report.quarantined, 0);
+}
+
+/// Library-level resume: journal half the campaign, then resume the full
+/// one — results and deterministic report fields must be identical to an
+/// uninterrupted run, and already-journaled entries must not re-run.
+#[test]
+fn journaled_suite_resumes_to_identical_results() {
+    let path =
+        std::env::temp_dir().join(format!("exaflow-suite-resume-{}.jsonl", std::process::id()));
+    let configs = mixed_suite().into_iter().take(4).collect::<Vec<_>>();
+
+    // Phase 1: a "crashed" campaign that only finished the first half.
+    let half = ExperimentSuite::new(configs[..2].to_vec())
+        .threads(2)
+        .run_journaled(&path, false)
+        .unwrap();
+    assert_eq!(half.report.succeeded, 2);
+    assert_eq!(read_journal(&path).unwrap().len(), 2);
+
+    // Phase 2: resume over the full config list.
+    let resumed = ExperimentSuite::new(configs.clone())
+        .threads(2)
+        .run_journaled(&path, true)
+        .unwrap();
+    assert_eq!(read_journal(&path).unwrap().len(), 4);
+
+    let reference = ExperimentSuite::new(configs).threads(2).run();
+    assert_eq!(signature(&resumed.results), signature(&reference.results));
+    assert_eq!(resumed.report.succeeded, reference.report.succeeded);
+    assert_eq!(resumed.report.failed, reference.report.failed);
+    assert_eq!(resumed.report.events, reference.report.events);
+    assert_eq!(resumed.report.flows, reference.report.flows);
+    assert_eq!(
+        resumed.report.maxmin_iterations,
+        reference.report.maxmin_iterations
+    );
+
+    // Resuming again re-runs nothing and reproduces the same results.
+    let replay = ExperimentSuite::new(mixed_suite().into_iter().take(4).collect::<Vec<_>>())
+        .threads(2)
+        .run_journaled(&path, true)
+        .unwrap();
+    assert_eq!(read_journal(&path).unwrap().len(), 4);
+    assert_eq!(signature(&replay.results), signature(&reference.results));
+    std::fs::remove_file(&path).ok();
+}
+
 /// Multi-core speedup: 8 workers should finish the 32-config suite at
 /// least 1.5x faster than 1 worker (conservative; ~3x is typical on 4+
 /// cores). Ignored by default so single-core CI stays stable — run with
