@@ -58,6 +58,20 @@ struct ThreadRun {
 }
 
 #[derive(Serialize)]
+struct TopoCacheRun {
+    name: &'static str,
+    entries: usize,
+    endpoints: usize,
+    cache_off_wall_seconds: f64,
+    cache_on_wall_seconds: f64,
+    speedup: f64,
+    hits: u64,
+    misses: u64,
+    tables_built: u64,
+    reports_identical: bool,
+}
+
+#[derive(Serialize)]
 struct Snapshot {
     solver: SolverChurn,
     engine: Vec<EngineRun>,
@@ -67,6 +81,7 @@ struct Snapshot {
     /// overhead and equivalence, not a parallel win).
     available_parallelism: usize,
     threads: Vec<ThreadRun>,
+    topo_cache: TopoCacheRun,
 }
 
 /// The issue's acceptance scenario: a 4096-endpoint AllReduce active set
@@ -209,6 +224,68 @@ fn engine_run_dag(name: &'static str, topo: &dyn Topology, dag: &FlowDag) -> Eng
     }
 }
 
+/// End-to-end sweep wall-clock with the shared topology cache on vs off:
+/// a 50-entry grid over ONE topology spec — the shape the cache exists
+/// for — where cache-off builds (and route-derives on) the same graph 50
+/// times and cache-on builds it once with a precomputed route table. The
+/// per-result comparison drops only wall clocks; everything physical must
+/// be bit-identical.
+fn topo_cache_run() -> TopoCacheRun {
+    const ENTRIES: usize = 50;
+    let spec = TopologySpec::Torus {
+        dims: vec![12, 12], // 144 endpoints: under the table threshold
+    };
+    let eps = spec.build().unwrap().num_endpoints();
+    let configs: Vec<ExperimentConfig> = (0..ENTRIES as u64)
+        .map(|i| ExperimentConfig {
+            topology: spec.clone(),
+            workload: WorkloadSpec::UnstructuredApp {
+                tasks: eps,
+                flows_per_task: 4,
+                bytes: 256 << 10,
+                seed: i + 1,
+            },
+            mapping: MappingSpec::Linear,
+            sim: SimConfig::default(),
+            failures: None,
+            fault_injection: None,
+        })
+        .collect();
+
+    let canonical = |run: &SuiteRun| -> Vec<String> {
+        run.results
+            .iter()
+            .map(|r| {
+                let mut res = r.as_ref().unwrap().clone();
+                res.wall_seconds = 0.0;
+                serde_json::to_string(&res).unwrap()
+            })
+            .collect()
+    };
+    let t = Instant::now();
+    let off = ExperimentSuite::new(configs.clone())
+        .threads(1)
+        .topo_cache(0)
+        .run();
+    let cache_off_wall_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let on = ExperimentSuite::new(configs).threads(1).run();
+    let cache_on_wall_seconds = t.elapsed().as_secs_f64();
+    let stats = on.report.topo_cache.expect("default cache is on");
+    TopoCacheRun {
+        name: "sweep_50x_unstructured_144ep_torus",
+        entries: ENTRIES,
+        endpoints: eps,
+        cache_off_wall_seconds,
+        cache_on_wall_seconds,
+        speedup: cache_off_wall_seconds / cache_on_wall_seconds,
+        hits: stats.hits,
+        misses: stats.misses,
+        tables_built: stats.tables_built,
+        reports_identical: canonical(&on) == canonical(&off),
+    }
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -325,11 +402,30 @@ fn main() {
         );
     }
 
+    let topo_cache = topo_cache_run();
+    eprintln!(
+        "{}: cache-off {:.4}s, cache-on {:.4}s, speedup {:.2}x, \
+         {} hits / {} misses, {} table(s) ({})",
+        topo_cache.name,
+        topo_cache.cache_off_wall_seconds,
+        topo_cache.cache_on_wall_seconds,
+        topo_cache.speedup,
+        topo_cache.hits,
+        topo_cache.misses,
+        topo_cache.tables_built,
+        if topo_cache.reports_identical {
+            "reports identical"
+        } else {
+            "REPORTS DIVERGED"
+        }
+    );
+
     let snapshot = Snapshot {
         solver,
         engine,
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         threads,
+        topo_cache,
     };
     let body = serde_json::to_string_pretty(&snapshot).expect("serialise snapshot");
     std::fs::write(&out, body).unwrap_or_else(|e| panic!("write {out}: {e}"));

@@ -101,7 +101,9 @@ fn print_help() {
     eprintln!("                                  --threads sets the intra-run solver pool size");
     eprintln!("                                  (results are bit-identical at every count)");
     eprintln!("  exaflow sweep <suite.json | -> [--threads <n>] [--metrics] [--retries <n>]");
-    eprintln!("                                 [--journal <f.jsonl>] [--resume]");
+    eprintln!(
+        "                                 [--journal <f.jsonl>] [--resume] [--topo-cache <n>]"
+    );
     eprintln!("                                  run a JSON array of configs in parallel,");
     eprintln!("                                  print per-config results + suite metrics;");
     eprintln!("                                  --metrics traces every entry and aggregates");
@@ -109,11 +111,15 @@ fn print_help() {
     eprintln!("                                  --retries re-runs transient failures before");
     eprintln!("                                  quarantining; --journal records each outcome");
     eprintln!("                                  crash-safely, --resume replays the journal;");
+    eprintln!("                                  --topo-cache caps the shared topology cache");
+    eprintln!("                                  (0 disables it; results are bit-identical");
+    eprintln!("                                  either way, only build work changes);");
     eprintln!("                                  exit 3 if any entry ended in a typed error,");
     eprintln!("                                  4 if quarantined entries remain");
     eprintln!(
         "  exaflow resilience <spec.json | -> [--threads <n>] [--journal <f.jsonl>] [--resume]"
     );
+    eprintln!("                                 [--topo-cache <n>]");
     eprintln!("                                  run a Monte-Carlo fault-injection campaign,");
     eprintln!("                                  print per-(rate, policy) degradation metrics;");
     eprintln!("                                  --journal/--resume as for sweep (resumed");
@@ -232,7 +238,8 @@ struct SweepOutput {
 }
 
 /// Shared argument shape for `sweep` and `resilience`:
-/// `<path | -> [--threads <n>] [--journal <f.jsonl>] [--resume] [--retries <n>]`.
+/// `<path | -> [--threads <n>] [--journal <f.jsonl>] [--resume] [--retries <n>]
+/// [--topo-cache <n>]`.
 #[derive(Default)]
 struct CampaignArgs<'a> {
     path: Option<&'a str>,
@@ -240,6 +247,7 @@ struct CampaignArgs<'a> {
     journal: Option<&'a str>,
     resume: bool,
     retries: Option<u32>,
+    topo_cache: Option<usize>,
 }
 
 fn parse_campaign_args(args: &[String], allow_retries: bool) -> Result<CampaignArgs<'_>, String> {
@@ -259,6 +267,10 @@ fn parse_campaign_args(args: &[String], allow_retries: bool) -> Result<CampaignA
             "--retries" if allow_retries => match it.next().and_then(|v| v.parse::<u32>().ok()) {
                 Some(n) => parsed.retries = Some(n),
                 None => return Err("--retries needs a non-negative integer".into()),
+            },
+            "--topo-cache" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => parsed.topo_cache = Some(n),
+                None => return Err("--topo-cache needs a non-negative integer (0 = off)".into()),
             },
             other if parsed.path.is_none() => parsed.path = Some(other),
             other => return Err(format!("unexpected argument '{other}'")),
@@ -298,6 +310,9 @@ fn cmd_sweep(args: &[String]) -> i32 {
     if let Some(n) = parsed_args.threads {
         suite = suite.threads(n);
     }
+    if let Some(cap) = parsed_args.topo_cache {
+        suite = suite.topo_cache(cap);
+    }
     if let Some(extra) = parsed_args.retries {
         // --retries counts *extra* attempts beyond the first.
         suite = suite.retry_policy(RetryPolicy::attempts(extra + 1));
@@ -318,6 +333,12 @@ fn cmd_sweep(args: &[String]) -> i32 {
         "sweep: {}/{} experiments succeeded in {:.2}s on {} thread(s)",
         run.report.succeeded, run.report.experiments, run.report.wall_seconds, run.report.threads
     );
+    if let Some(tc) = &run.report.topo_cache {
+        eprintln!(
+            "sweep: topo-cache {} hit(s), {} miss(es), {} eviction(s), {} route table(s) built",
+            tc.hits, tc.misses, tc.evictions, tc.tables_built
+        );
+    }
     if run.report.retries > 0 || run.report.quarantined > 0 {
         eprintln!(
             "sweep: {} retr{} executed, {} entr{} quarantined",
@@ -381,8 +402,13 @@ fn cmd_resilience(args: &[String]) -> i32 {
     let journal = parsed_args
         .journal
         .map(|p| (std::path::Path::new(p), parsed_args.resume));
-    match run_resilience_campaign_journaled(&spec, parsed_args.threads, journal) {
-        Ok(report) => {
+    match run_resilience_campaign_with_cache(
+        &spec,
+        parsed_args.threads,
+        journal,
+        parsed_args.topo_cache,
+    ) {
+        Ok((report, cache_stats)) => {
             eprintln!(
                 "resilience: {} runs ({} rates x {} policies x {} replicas), {} failed",
                 report.total_runs,
@@ -391,6 +417,12 @@ fn cmd_resilience(args: &[String]) -> i32 {
                 report.replicas_per_cell,
                 report.failed_runs,
             );
+            if let Some(tc) = &cache_stats {
+                eprintln!(
+                    "resilience: topo-cache {} hit(s), {} miss(es), {} eviction(s), {} route table(s) built",
+                    tc.hits, tc.misses, tc.evictions, tc.tables_built
+                );
+            }
             for cell in &report.cells {
                 eprintln!(
                     "  rate {:>10.4}/s {:<16} delivered {:>6.2}% inflation p50 {:.3} p99 {:.3}",

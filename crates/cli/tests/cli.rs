@@ -183,7 +183,9 @@ fn run_rejects_zero_threads() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"{}").unwrap();
+    // The child rejects the flag without reading stdin, so it may already
+    // have exited: a broken pipe here is expected, not a failure.
+    let _ = child.stdin.as_mut().unwrap().write_all(b"{}");
     let out = child.wait_with_output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     let err = String::from_utf8_lossy(&out.stderr);
@@ -200,7 +202,9 @@ fn run_rejects_unknown_flag() {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    child.stdin.as_mut().unwrap().write_all(b"{}").unwrap();
+    // See run_rejects_zero_threads: the early-exiting child may close the
+    // pipe before this write lands.
+    let _ = child.stdin.as_mut().unwrap().write_all(b"{}");
     let out = child.wait_with_output().unwrap();
     assert_eq!(out.status.code(), Some(1));
     let err = String::from_utf8_lossy(&out.stderr);
@@ -976,4 +980,178 @@ fn campaign_corrupt_journal_is_a_loud_error() {
 
     std::fs::remove_file(&suite_path).ok();
     std::fs::remove_file(&journal_path).ok();
+}
+
+// --------------------------------------------------------------------------
+// Topology-cache tests: the shared cache must be invisible on stdout
+// (bit-identical reports) and visible only on stderr. Named `campaign_*`
+// so the check script gates them with the crash-safety group.
+// --------------------------------------------------------------------------
+
+/// A sweep built to exercise the cache: six entries over two topology
+/// specs, including full-population spellings that must share a cache key.
+const CACHED_SWEEP: &str = r#"[
+  {"topology": {"topology": "torus", "dims": [4, 4]},
+   "workload": {"workload": "all_reduce", "tasks": 16, "bytes": 65536}},
+  {"topology": {"topology": "torus", "dims": [4, 4]},
+   "workload": {"workload": "reduce", "tasks": 8, "bytes": 65536}},
+  {"topology": {"topology": "torus", "dims": [4, 4]},
+   "workload": {"workload": "unstructured_app", "tasks": 8,
+                "flows_per_task": 2, "bytes": 65536, "seed": 3},
+   "failures": {"count": 1, "seed": 3}},
+  {"topology": {"topology": "fattree", "k": 4, "n": 2},
+   "workload": {"workload": "reduce", "tasks": 16, "bytes": 65536}},
+  {"topology": {"topology": "fattree", "k": 4, "n": 2, "endpoints": 16},
+   "workload": {"workload": "reduce", "tasks": 16, "bytes": 65536}},
+  {"topology": {"topology": "torus", "dims": [4, 4]},
+   "workload": {"workload": "all_reduce", "tasks": 16, "bytes": 131072}}
+]"#;
+
+/// Sweep stdout must be bit-identical (after wall-clock scrubbing) with
+/// the cache on (default) and off (`--topo-cache 0`), serial and 8-way;
+/// the cache announces itself only on stderr, and only when enabled.
+#[test]
+fn campaign_sweep_topo_cache_is_invisible_on_stdout() {
+    let suite_path = tmpfile("topocache-suite.json");
+    std::fs::write(&suite_path, CACHED_SWEEP).unwrap();
+    for threads in ["1", "8"] {
+        let off = exaflow()
+            .args(["sweep", suite_path.to_str().unwrap(), "--threads", threads])
+            .args(["--topo-cache", "0"])
+            .output()
+            .unwrap();
+        let on = exaflow()
+            .args(["sweep", suite_path.to_str().unwrap(), "--threads", threads])
+            .output()
+            .unwrap();
+        assert!(off.status.success() && on.status.success());
+        assert_eq!(
+            scrubbed(&on.stdout),
+            scrubbed(&off.stdout),
+            "threads {threads}: sweep stdout must not depend on the topology cache"
+        );
+        let err_on = String::from_utf8_lossy(&on.stderr);
+        let err_off = String::from_utf8_lossy(&off.stderr);
+        // 6 entries, 2 distinct topologies: the fattree full-population
+        // spellings normalize onto one key, so 2 misses and 4 hits.
+        assert!(
+            err_on.contains("topo-cache 4 hit(s), 2 miss(es)"),
+            "threads {threads}: stderr: {err_on}"
+        );
+        assert!(
+            !err_off.contains("topo-cache"),
+            "threads {threads}: disabled cache must stay silent: {err_off}"
+        );
+    }
+    std::fs::remove_file(&suite_path).ok();
+}
+
+/// Resilience campaign stdout is wall-clock free, so cache-on and
+/// cache-off must match byte-for-byte, serial and parallel.
+#[test]
+fn campaign_resilience_topo_cache_is_invisible_on_stdout() {
+    for threads in ["1", "8"] {
+        let off = run_resilience(
+            RESILIENCE_SPEC,
+            &["--threads", threads, "--topo-cache", "0"],
+        );
+        let on = run_resilience(RESILIENCE_SPEC, &["--threads", threads]);
+        assert!(off.status.success() && on.status.success());
+        assert_eq!(
+            on.stdout, off.stdout,
+            "threads {threads}: campaign stdout must be byte-identical cache on/off"
+        );
+        let err_on = String::from_utf8_lossy(&on.stderr);
+        assert!(
+            err_on.contains("topo-cache") && err_on.contains("hit(s)"),
+            "threads {threads}: stderr: {err_on}"
+        );
+        assert!(!String::from_utf8_lossy(&off.stderr).contains("topo-cache"));
+    }
+}
+
+/// Satellite of the crash-safety story: SIGKILL a sweep running with a
+/// *warm* cache, resume with the cache *disabled* (cold), and require the
+/// deterministic report surface to match an uninterrupted cache-off run —
+/// the journal layer and the cache layer must not interfere.
+#[test]
+fn campaign_kill_warm_cache_resume_cold_reconstructs_the_report() {
+    let suite_path = tmpfile("topocache-kill-suite.json");
+    let journal_path = tmpfile("topocache-kill-journal.jsonl");
+    std::fs::write(&suite_path, slow_suite_json(4)).unwrap();
+
+    // Reference: uninterrupted, cache off.
+    let ref_journal = tmpfile("topocache-kill-ref-journal.jsonl");
+    let reference = exaflow()
+        .args(["sweep", suite_path.to_str().unwrap(), "--threads", "1"])
+        .args(["--journal", ref_journal.to_str().unwrap()])
+        .args(["--topo-cache", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        reference.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    // Victim: default (warm) cache, killed once the journal has entries.
+    let mut child = exaflow()
+        .args(["sweep", suite_path.to_str().unwrap(), "--threads", "1"])
+        .args(["--journal", journal_path.to_str().unwrap()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while count_complete_lines(&journal_path) < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "journal never gained a complete line"
+        );
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    child.kill().ok();
+    child.wait().unwrap();
+
+    // Resume with the cache disabled: cold rebuilds, same results.
+    let resumed = exaflow()
+        .args(["sweep", suite_path.to_str().unwrap(), "--threads", "2"])
+        .args(["--journal", journal_path.to_str().unwrap(), "--resume"])
+        .args(["--topo-cache", "0"])
+        .output()
+        .unwrap();
+    assert!(
+        resumed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(count_complete_lines(&journal_path), 4, "journal healed");
+    assert_eq!(
+        scrubbed(&resumed.stdout),
+        scrubbed(&reference.stdout),
+        "cold-cache resume must match the uninterrupted cache-off run"
+    );
+
+    for p in [&suite_path, &journal_path, &ref_journal] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+/// `--topo-cache` without a valid non-negative integer is a usage error
+/// for both campaign commands.
+#[test]
+fn campaign_rejects_bad_topo_cache_values() {
+    for cmd in ["sweep", "resilience"] {
+        for bad in [&["--topo-cache"][..], &["--topo-cache", "-1"][..]] {
+            let mut args = vec![cmd, "-"];
+            args.extend_from_slice(bad);
+            let out = exaflow().args(&args).stdin(Stdio::null()).output().unwrap();
+            assert_eq!(out.status.code(), Some(1), "{cmd} {bad:?}");
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(err.contains("--topo-cache"), "{cmd} stderr: {err}");
+        }
+    }
 }

@@ -1,6 +1,7 @@
 //! Declarative experiments: topology × workload × mapping × engine config.
 
 use crate::error::ExperimentError;
+use crate::topocache::TopoCache;
 use crate::topospec::TopologySpec;
 use exaflow_sim::{
     FaultSchedule, FaultScheduleSpec, MetricsSnapshot, RecoveryPolicy, SimConfig, SimReport,
@@ -9,6 +10,7 @@ use exaflow_sim::{
 use exaflow_topo::{Degraded, Topology};
 use exaflow_workloads::{TaskMapping, WorkloadSpec};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Task placement policy.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -163,7 +165,7 @@ pub struct ExperimentResult {
 /// [`ExperimentError`], so bulk drivers can report *which* grid point
 /// failed and *why* without string matching.
 pub fn run_experiment(cfg: &ExperimentConfig) -> Result<ExperimentResult, ExperimentError> {
-    run_experiment_traced(cfg, None)
+    run_experiment_cached_traced(cfg, None, None)
 }
 
 /// [`run_experiment`] streaming engine trace events into `sink` (when
@@ -174,6 +176,26 @@ pub fn run_experiment_traced(
     cfg: &ExperimentConfig,
     sink: Option<&mut dyn TraceSink>,
 ) -> Result<ExperimentResult, ExperimentError> {
+    run_experiment_cached_traced(cfg, None, sink)
+}
+
+/// [`run_experiment`] sourcing the topology from a shared [`TopoCache`]
+/// (when given): campaign workers hammering the same spec build it once
+/// and share the immutable result. Bit-identical to the uncached path —
+/// the cache only changes *who built* the topology, never what it is.
+pub fn run_experiment_cached(
+    cfg: &ExperimentConfig,
+    cache: Option<&TopoCache>,
+) -> Result<ExperimentResult, ExperimentError> {
+    run_experiment_cached_traced(cfg, cache, None)
+}
+
+/// The full-featured runner: optional topology cache, optional trace sink.
+pub fn run_experiment_cached_traced(
+    cfg: &ExperimentConfig,
+    cache: Option<&TopoCache>,
+    sink: Option<&mut dyn TraceSink>,
+) -> Result<ExperimentResult, ExperimentError> {
     // Reject a malformed engine config before paying for topology
     // construction; the engine re-checks at `run` as a second line.
     cfg.sim.validate().map_err(ExperimentError::from)?;
@@ -182,9 +204,12 @@ pub fn run_experiment_traced(
     cfg.workload
         .validate()
         .map_err(|reason| ExperimentError::InvalidWorkload { reason })?;
-    let built = cfg.topology.build()?;
+    let (built, cache_hit): (Arc<dyn Topology>, bool) = match cache {
+        Some(cache) => cache.get_or_build(&cfg.topology)?,
+        None => (Arc::from(cfg.topology.build()?), false),
+    };
     let (mut cables_requested, mut cables_applied) = (0u64, 0u64);
-    let topo: Box<dyn Topology> = match cfg.failures {
+    let topo: Arc<dyn Topology> = match cfg.failures {
         Some(f) => {
             if f.count == 0 {
                 return Err(ExperimentError::InvalidFailures {
@@ -192,6 +217,9 @@ pub fn run_experiment_traced(
                         .into(),
                 });
             }
+            // `Degraded` wraps the shared topology without mutating it: it
+            // post-checks the inner (possibly table-served) nominal route
+            // and detours only the pairs a down link actually affects.
             let degraded = Degraded::with_random_failures(built, f.count, f.seed);
             cables_requested = degraded.cables_requested() as u64;
             cables_applied = degraded.cables_applied() as u64;
@@ -206,7 +234,7 @@ pub fn run_experiment_traced(
                     ),
                 });
             }
-            Box::new(degraded)
+            Arc::new(degraded)
         }
         None => built,
     };
@@ -224,7 +252,8 @@ pub fn run_experiment_traced(
     let mapping = cfg.mapping.build(tasks, topo.num_endpoints());
     let dag = cfg.workload.generate(&mapping);
     let started = std::time::Instant::now();
-    let simulator = Simulator::with_config(&topo, cfg.sim.clone());
+    let mut simulator = Simulator::with_config(&*topo, cfg.sim.clone());
+    simulator.set_topo_cache_hit(cache_hit);
     // Normalise the two optional dimensions (fault schedule, trace sink)
     // into one dispatch so every combination reaches the same engine path.
     let (schedule, policy) = match &cfg.fault_injection {

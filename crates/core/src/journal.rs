@@ -100,21 +100,29 @@ fn write_canonical(value: &serde_json::Value, out: &mut String) {
     }
 }
 
-/// Stable content fingerprint of an experiment spec: 128 bits (two
+/// Stable content fingerprint of an arbitrary JSON value: 128 bits (two
 /// independent FNV-1a streams over the canonical JSON), printed as 32 hex
-/// characters. Two configs get the same fingerprint iff their canonical
-/// JSON forms are byte-identical — i.e. they describe the same experiment
-/// regardless of key order or serde round-trips.
-pub fn fingerprint(cfg: &ExperimentConfig) -> String {
-    let value = serde_json::to_value(cfg).expect("config serialization is infallible");
+/// characters. Two values get the same fingerprint iff their canonical
+/// JSON forms are byte-identical — i.e. they describe the same content
+/// regardless of key order or serde round-trips. This is the keying
+/// primitive shared by the campaign journal ([`fingerprint`]) and the
+/// topology cache (`crate::topocache`).
+pub fn fingerprint_value(value: &serde_json::Value) -> String {
     let mut canon = String::new();
-    write_canonical(&value, &mut canon);
+    write_canonical(value, &mut canon);
     let lo = fnv1a64(canon.as_bytes(), 0xCBF2_9CE4_8422_2325);
     let hi = fnv1a64(
         canon.as_bytes(),
         0xCBF2_9CE4_8422_2325 ^ 0x9E37_79B9_7F4A_7C15,
     );
     format!("{hi:016x}{lo:016x}")
+}
+
+/// Stable content fingerprint of an experiment spec (see
+/// [`fingerprint_value`] for the hash construction).
+pub fn fingerprint(cfg: &ExperimentConfig) -> String {
+    let value = serde_json::to_value(cfg).expect("config serialization is infallible");
+    fingerprint_value(&value)
 }
 
 /// Append-only journal writer.

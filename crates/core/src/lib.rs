@@ -52,21 +52,25 @@ pub mod presets;
 pub mod resilience;
 pub mod scale;
 pub mod suite;
+pub mod topocache;
 pub mod topospec;
 
 pub use error::ExperimentError;
 pub use experiment::{
-    run_experiment, run_experiment_traced, ExperimentConfig, ExperimentResult, FailureSpec,
-    FaultInjectionSpec, MappingSpec,
+    run_experiment, run_experiment_cached, run_experiment_cached_traced, run_experiment_traced,
+    ExperimentConfig, ExperimentResult, FailureSpec, FaultInjectionSpec, MappingSpec,
 };
-pub use journal::{fingerprint, read_journal, Journal, JournalEntry, JournalIndex};
+pub use journal::{
+    fingerprint, fingerprint_value, read_journal, Journal, JournalEntry, JournalIndex,
+};
 pub use normalize::{normalize_to, NormalizedRow};
 pub use resilience::{
-    run_resilience_campaign, run_resilience_campaign_journaled, CellReport,
-    ResilienceCampaignReport, ResilienceCampaignSpec,
+    run_resilience_campaign, run_resilience_campaign_journaled, run_resilience_campaign_with_cache,
+    CellReport, ResilienceCampaignReport, ResilienceCampaignSpec,
 };
 pub use scale::SystemScale;
 pub use suite::{scoped_map, ExperimentSuite, RetryPolicy, SuiteMetrics, SuiteReport, SuiteRun};
+pub use topocache::{topology_cache_key, TopoCache, TopoCacheStats};
 pub use topospec::TopologySpec;
 
 // Re-export the subsystem crates under their natural names.
@@ -81,19 +85,23 @@ pub use exaflow_workloads as workloads;
 pub mod prelude {
     pub use crate::error::ExperimentError;
     pub use crate::experiment::{
-        run_experiment, run_experiment_traced, ExperimentConfig, ExperimentResult, FailureSpec,
-        FaultInjectionSpec, MappingSpec,
+        run_experiment, run_experiment_cached, run_experiment_cached_traced, run_experiment_traced,
+        ExperimentConfig, ExperimentResult, FailureSpec, FaultInjectionSpec, MappingSpec,
     };
-    pub use crate::journal::{fingerprint, read_journal, Journal, JournalEntry, JournalIndex};
+    pub use crate::journal::{
+        fingerprint, fingerprint_value, read_journal, Journal, JournalEntry, JournalIndex,
+    };
     pub use crate::presets;
     pub use crate::resilience::{
-        run_resilience_campaign, run_resilience_campaign_journaled, CellReport,
-        ResilienceCampaignReport, ResilienceCampaignSpec,
+        run_resilience_campaign, run_resilience_campaign_journaled,
+        run_resilience_campaign_with_cache, CellReport, ResilienceCampaignReport,
+        ResilienceCampaignSpec,
     };
     pub use crate::scale::SystemScale;
     pub use crate::suite::{
         scoped_map, ExperimentSuite, RetryPolicy, SuiteMetrics, SuiteReport, SuiteRun,
     };
+    pub use crate::topocache::{topology_cache_key, TopoCache, TopoCacheStats};
     pub use crate::topospec::TopologySpec;
     pub use exaflow_analysis::{
         channel_load_survey, distance_stats_exact, distance_survey, DistanceStats, LoadStats,

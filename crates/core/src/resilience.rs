@@ -23,9 +23,12 @@
 //! [`SimError::LinkLost`]: exaflow_sim::SimError::LinkLost
 
 use crate::error::ExperimentError;
-use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult, FaultInjectionSpec};
+use crate::experiment::{
+    run_experiment_cached, ExperimentConfig, ExperimentResult, FaultInjectionSpec,
+};
 use crate::journal::{fingerprint, Journal, JournalIndex, JournaledOutcome};
 use crate::suite::ExperimentSuite;
+use crate::topocache::{TopoCache, TopoCacheStats};
 use exaflow_sim::{FaultScheduleSpec, RecoveryPolicy, SimError};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -227,7 +230,26 @@ pub fn run_resilience_campaign_journaled(
     threads: Option<usize>,
     journal: Option<(&Path, bool)>,
 ) -> Result<ResilienceCampaignReport, ExperimentError> {
+    run_resilience_campaign_with_cache(spec, threads, journal, None).map(|(report, _)| report)
+}
+
+/// The full-featured campaign runner: like
+/// [`run_resilience_campaign_journaled`], plus an explicit topology-cache
+/// capacity (`None`: [`TopoCache::DEFAULT_CAP`]; `Some(0)`: cache off).
+/// One cache is shared by the baseline and every grid worker — the whole
+/// campaign reuses a single spec, so it builds the topology exactly once.
+/// Returns the cache's lifetime stats alongside the report (the report
+/// itself must stay bit-identical cache-on vs cache-off, so the stats
+/// never live inside it).
+pub fn run_resilience_campaign_with_cache(
+    spec: &ResilienceCampaignSpec,
+    threads: Option<usize>,
+    journal: Option<(&Path, bool)>,
+    topo_cache_cap: Option<usize>,
+) -> Result<(ResilienceCampaignReport, Option<TopoCacheStats>), ExperimentError> {
     validate(spec)?;
+    let cap = topo_cache_cap.unwrap_or(TopoCache::DEFAULT_CAP);
+    let cache = (cap > 0).then(|| TopoCache::new(cap));
     let mut index = match journal {
         Some((path, true)) => JournalIndex::load(path).map_err(journal_io)?,
         _ => JournalIndex::default(),
@@ -243,7 +265,7 @@ pub fn run_resilience_campaign_journaled(
     let baseline: ExperimentResult = match index.take(&base_fp) {
         Some(outcome) => outcome?,
         None => {
-            let outcome: JournaledOutcome = run_experiment(&spec.base);
+            let outcome: JournaledOutcome = run_experiment_cached(&spec.base, cache.as_ref());
             if let Some(j) = journal.as_mut() {
                 j.record(&base_fp, &outcome).map_err(journal_io)?;
             }
@@ -292,6 +314,7 @@ pub fn run_resilience_campaign_journaled(
         journal.as_mut().map(|j| (j, fingerprints.as_slice())),
         prefilled,
         &|_| {},
+        cache.as_ref(),
     );
     if let Some(e) = io_error {
         return Err(journal_io(e));
@@ -347,17 +370,20 @@ pub fn run_resilience_campaign_journaled(
         }
     }
 
-    Ok(ResilienceCampaignReport {
-        topology: baseline.topology.clone(),
-        workload: baseline.workload.clone(),
-        baseline_makespan_seconds: baseline.makespan_seconds,
-        baseline_flows: baseline.flows,
-        horizon_s: horizon,
-        replicas_per_cell: spec.replicas,
-        total_runs: run.results.len() as u64,
-        failed_runs,
-        cells,
-    })
+    Ok((
+        ResilienceCampaignReport {
+            topology: baseline.topology.clone(),
+            workload: baseline.workload.clone(),
+            baseline_makespan_seconds: baseline.makespan_seconds,
+            baseline_flows: baseline.flows,
+            horizon_s: horizon,
+            replicas_per_cell: spec.replicas,
+            total_runs: run.results.len() as u64,
+            failed_runs,
+            cells,
+        },
+        cache.map(|c| c.stats()),
+    ))
 }
 
 #[cfg(test)]

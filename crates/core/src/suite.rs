@@ -52,8 +52,9 @@
 //! ```
 
 use crate::error::ExperimentError;
-use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+use crate::experiment::{run_experiment_cached, ExperimentConfig, ExperimentResult};
 use crate::journal::{fingerprint, Journal, JournalIndex, JournaledOutcome};
+use crate::topocache::{TopoCache, TopoCacheStats};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
@@ -66,6 +67,7 @@ pub struct ExperimentSuite {
     configs: Vec<ExperimentConfig>,
     threads: Option<usize>,
     retry: RetryPolicy,
+    topo_cache: Option<usize>,
 }
 
 /// How the suite treats transiently-failed entries (worker panics and
@@ -205,6 +207,18 @@ pub struct SuiteReport {
     /// report files.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<SuiteMetrics>,
+    /// Topology-cache statistics for this run (`None` with the cache
+    /// disabled). **Never serialized**: the JSON report must stay
+    /// byte-identical between cache-on and cache-off runs (and to
+    /// pre-cache report files); the CLI surfaces these on stderr instead.
+    #[serde(default, skip_serializing_if = "never_serialize")]
+    pub topo_cache: Option<TopoCacheStats>,
+}
+
+/// `skip_serializing_if` helper for fields that are in-memory provenance
+/// only and must never enter the serialized report.
+fn never_serialize<T>(_: &T) -> bool {
+    true
 }
 
 /// Engine metrics summed over every traced experiment in a suite.
@@ -273,6 +287,7 @@ impl ExperimentSuite {
             configs,
             threads: None,
             retry: RetryPolicy::default(),
+            topo_cache: None,
         }
     }
 
@@ -287,6 +302,21 @@ impl ExperimentSuite {
     pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
         self
+    }
+
+    /// Hold at most `cap` distinct topologies in the shared per-run
+    /// [`TopoCache`] (default [`TopoCache::DEFAULT_CAP`]; 0 disables the
+    /// cache entirely). Provably invisible either way — only build work
+    /// and the provenance counters change.
+    pub fn topo_cache(mut self, cap: usize) -> Self {
+        self.topo_cache = Some(cap);
+        self
+    }
+
+    /// The per-run topology cache this suite's configuration asks for.
+    pub(crate) fn make_topo_cache(&self) -> Option<TopoCache> {
+        let cap = self.topo_cache.unwrap_or(TopoCache::DEFAULT_CAP);
+        (cap > 0).then(|| TopoCache::new(cap))
     }
 
     /// Number of experiments in the suite.
@@ -309,7 +339,8 @@ impl ExperimentSuite {
 
     /// Run every experiment and aggregate the outcome.
     pub fn run(&self) -> SuiteRun {
-        let (run, _) = self.run_prefilled(None, vec![None; self.len()], &|_| {});
+        let cache = self.make_topo_cache();
+        let (run, _) = self.run_prefilled(None, vec![None; self.len()], &|_| {}, cache.as_ref());
         run
     }
 
@@ -330,8 +361,13 @@ impl ExperimentSuite {
             }
         }
         let mut journal = Journal::open(path, !resume)?;
-        let (run, io_error) =
-            self.run_prefilled(Some((&mut journal, &fingerprints)), prefilled, &|_| {});
+        let cache = self.make_topo_cache();
+        let (run, io_error) = self.run_prefilled(
+            Some((&mut journal, &fingerprints)),
+            prefilled,
+            &|_| {},
+            cache.as_ref(),
+        );
         match io_error {
             Some(e) => Err(e),
             None => Ok(run),
@@ -344,7 +380,8 @@ impl ExperimentSuite {
     /// that worker dead, exactly like an abort-level failure mid-suite.
     #[doc(hidden)]
     pub fn run_with_worker_fault(&self, fault: &(dyn Fn(usize) + Sync)) -> SuiteRun {
-        let (run, _) = self.run_prefilled(None, vec![None; self.len()], fault);
+        let cache = self.make_topo_cache();
+        let (run, _) = self.run_prefilled(None, vec![None; self.len()], fault, cache.as_ref());
         run
     }
 
@@ -359,6 +396,7 @@ impl ExperimentSuite {
         mut journal: Option<(&mut Journal, &[String])>,
         prefilled: Vec<Option<JournaledOutcome>>,
         fault: &(dyn Fn(usize) + Sync),
+        topo_cache: Option<&TopoCache>,
     ) -> (SuiteRun, Option<std::io::Error>) {
         let n = self.configs.len();
         debug_assert_eq!(prefilled.len(), n);
@@ -388,7 +426,7 @@ impl ExperimentSuite {
             scoped_map_observed(
                 &batch,
                 threads.min(batch.len()).max(1),
-                &|_, cfg: &&ExperimentConfig| run_experiment(cfg),
+                &|_, cfg: &&ExperimentConfig| run_experiment_cached(cfg, topo_cache),
                 fault,
                 |k, outcome| {
                     let i = pending[k];
@@ -488,6 +526,7 @@ impl ExperimentSuite {
             },
             per_experiment_wall_seconds: per_wall,
             metrics,
+            topo_cache: topo_cache.map(TopoCache::stats),
         };
         (SuiteRun { results, report }, journal_error)
     }

@@ -1,0 +1,366 @@
+//! Content-addressed topology cache shared across campaign workers.
+//!
+//! Campaigns are "many workloads × few topologies": a sweep or resilience
+//! grid runs dozens of entries against the same [`TopologySpec`], yet each
+//! [`run_experiment`](crate::run_experiment) call would rebuild the
+//! topology (and re-derive every route) from scratch. [`TopoCache`] builds
+//! each distinct spec exactly once and hands out the result as an immutable
+//! `Arc<dyn Topology>` to every worker thread.
+//!
+//! Three design points, in order:
+//!
+//! 1. **Content addressing.** Keys are the canonical-JSON fingerprint
+//!    ([`fingerprint_value`](crate::journal::fingerprint_value)) of the
+//!    *normalised* spec — the same hash the campaign journal uses — so the
+//!    key survives serde round-trips and key-order permutations, and specs
+//!    that build the same graph under different spellings (a fattree with
+//!    `endpoints: Some(k^n)` vs `endpoints: None`) share one entry.
+//! 2. **Bounded, two-generation eviction.** The cache mirrors the route
+//!    cache from the fluid engine: a `fresh` and a `stale` map, rotation
+//!    when `fresh` reaches half the configured capacity, promotion on a
+//!    stale hit. Campaign working sets (a handful of topologies) fit
+//!    easily; a pathological sweep over thousands of distinct specs
+//!    degrades to bounded memory instead of unbounded growth.
+//! 3. **Single-flight builds.** Each key owns a build slot (`OnceLock`);
+//!    the first worker to want a spec builds it while later arrivals block
+//!    on that slot rather than duplicating the work or serialising every
+//!    build behind one global lock.
+//!
+//! Small topologies (≤ the [`Tabled`] threshold) are stored with a
+//! precomputed all-pairs route table so every cached consumer also skips
+//! per-call route derivation; see `exaflow_topo::route_table` for why that
+//! is bit-identical and how it composes with fault wrappers.
+//!
+//! The cache is **provably invisible**: topologies are immutable once
+//! built, routing is a pure function of `(src, dst)`, and the only
+//! observable difference is provenance (the `topo_cache_hit` trace flag and
+//! these [`TopoCacheStats`], neither of which enters report JSON). The
+//! differential suite `tests/topo_cache_equiv.rs` enforces this end to end.
+
+use crate::error::ExperimentError;
+use crate::journal::fingerprint_value;
+use crate::topospec::TopologySpec;
+use exaflow_topo::{Tabled, Topology, DEFAULT_TABLE_MAX_ENDPOINTS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A finished build slot: the built topology, or the typed error the spec
+/// produced. Errors are cached too — `build` is a pure function of the
+/// spec, so a failing spec fails identically every time and re-running it
+/// per entry would only burn time producing the same message.
+type Built = Result<Arc<dyn Topology>, ExperimentError>;
+
+/// One single-flight build slot. The first worker to claim a key runs the
+/// build inside `OnceLock::get_or_init`; concurrent claimants block on the
+/// slot (not on the cache-wide lock) until the value is ready.
+type Slot = Arc<OnceLock<Built>>;
+
+/// Counters describing what a [`TopoCache`] did over its lifetime.
+///
+/// Surfaced on the in-memory `SuiteReport` and the CLI stderr summary
+/// only — deliberately **never** serialized into report JSON, which must
+/// stay byte-identical between cache-on and cache-off runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopoCacheStats {
+    /// Lookups served from an existing slot (the builder may still have
+    /// been in flight; the point is the work was not duplicated).
+    pub hits: u64,
+    /// Lookups that created a new slot and built the topology.
+    pub misses: u64,
+    /// Entries discarded by generation rotation.
+    pub evictions: u64,
+    /// Built entries small enough to get a precomputed route table.
+    pub tables_built: u64,
+    /// Entries resident when the stats were taken.
+    pub entries: u64,
+}
+
+/// Two-generation bounded state, guarded by the cache-wide mutex. Only
+/// slot *lookup/insertion* happens under this lock; topology builds run on
+/// the claiming worker's thread with the lock released.
+struct CacheState {
+    fresh: HashMap<String, Slot>,
+    stale: HashMap<String, Slot>,
+    half_cap: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl CacheState {
+    /// Find the slot for `key`, creating (and registering) a fresh one on
+    /// miss. Returns the slot and whether it already existed.
+    fn lookup_or_insert(&mut self, key: &str) -> (Slot, bool) {
+        if let Some(slot) = self.fresh.get(key) {
+            self.hits += 1;
+            return (slot.clone(), true);
+        }
+        if let Some(slot) = self.stale.remove(key) {
+            // Promote: a stale hit re-enters the fresh generation, same as
+            // the engine's route cache.
+            self.hits += 1;
+            self.insert(key.to_owned(), slot.clone());
+            return (slot, true);
+        }
+        self.misses += 1;
+        let slot: Slot = Arc::new(OnceLock::new());
+        self.insert(key.to_owned(), slot.clone());
+        (slot, false)
+    }
+
+    fn insert(&mut self, key: String, slot: Slot) {
+        if self.half_cap == 0 {
+            return;
+        }
+        if self.fresh.len() >= self.half_cap {
+            self.evictions += self.stale.len() as u64;
+            self.stale = std::mem::take(&mut self.fresh);
+        }
+        self.fresh.insert(key, slot);
+    }
+}
+
+/// Bounded, thread-safe cache of built topologies, keyed by
+/// [`topology_cache_key`].
+pub struct TopoCache {
+    state: Mutex<CacheState>,
+    table_max_endpoints: usize,
+    tables_built: AtomicU64,
+}
+
+impl TopoCache {
+    /// Default capacity for campaign runners: far above any real sweep's
+    /// distinct-topology count, small enough that even pathological
+    /// spec-per-entry campaigns stay bounded.
+    pub const DEFAULT_CAP: usize = 64;
+
+    /// A cache holding at most `cap` topologies (two generations of
+    /// `cap.div_ceil(2)`), with the default route-table threshold.
+    pub fn new(cap: usize) -> TopoCache {
+        TopoCache::with_table_threshold(cap, DEFAULT_TABLE_MAX_ENDPOINTS)
+    }
+
+    /// Like [`TopoCache::new`], but building route tables only for
+    /// topologies with at most `table_max_endpoints` endpoints (0 disables
+    /// tables entirely).
+    pub fn with_table_threshold(cap: usize, table_max_endpoints: usize) -> TopoCache {
+        TopoCache {
+            state: Mutex::new(CacheState {
+                fresh: HashMap::new(),
+                stale: HashMap::new(),
+                half_cap: cap.div_ceil(2),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            table_max_endpoints,
+            tables_built: AtomicU64::new(0),
+        }
+    }
+
+    /// The built topology for `spec`, building it exactly once per cache
+    /// residency. The `bool` is the provenance flag stamped into the trace
+    /// header: `true` when the slot already existed (another entry paid
+    /// for the build).
+    pub fn get_or_build(
+        &self,
+        spec: &TopologySpec,
+    ) -> Result<(Arc<dyn Topology>, bool), ExperimentError> {
+        let key = topology_cache_key(spec);
+        let (slot, hit) = {
+            let mut state = self.state.lock().expect("topology cache lock poisoned");
+            state.lookup_or_insert(&key)
+        };
+        let built = slot.get_or_init(|| self.build_entry(spec));
+        built.clone().map(|topo| (topo, hit))
+    }
+
+    fn build_entry(&self, spec: &TopologySpec) -> Built {
+        let boxed = spec.build()?;
+        if boxed.num_endpoints() <= self.table_max_endpoints {
+            self.tables_built.fetch_add(1, Ordering::Relaxed);
+            Ok(Arc::new(Tabled::new(boxed)))
+        } else {
+            Ok(Arc::from(boxed))
+        }
+    }
+
+    /// Lifetime counters (see [`TopoCacheStats`] for field semantics).
+    pub fn stats(&self) -> TopoCacheStats {
+        let state = self.state.lock().expect("topology cache lock poisoned");
+        TopoCacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+            tables_built: self.tables_built.load(Ordering::Relaxed),
+            entries: (state.fresh.len() + state.stale.len()) as u64,
+        }
+    }
+}
+
+/// The cache key for `spec`: the canonical-JSON fingerprint of its
+/// *normalised* form.
+///
+/// Normalisation strips spellings that do not affect the built graph — a
+/// fattree or GHC asking for exactly its full endpoint population is the
+/// same graph as one that leaves `endpoints` unset — so such specs share a
+/// cache entry. Canonical JSON (recursively sorted keys) makes the key
+/// insensitive to serde key order, mirroring the journal fingerprint.
+pub fn topology_cache_key(spec: &TopologySpec) -> String {
+    let value =
+        serde_json::to_value(&normalize(spec)).expect("topology spec serialization is infallible");
+    fingerprint_value(&value)
+}
+
+/// Rewrite `spec` into its canonical spelling: `endpoints: Some(full)`
+/// becomes `endpoints: None` for the partially-populatable families.
+/// Overflowing parameter combinations are left untouched — they fail in
+/// `build` with a typed error either way.
+fn normalize(spec: &TopologySpec) -> TopologySpec {
+    let mut spec = spec.clone();
+    match &mut spec {
+        TopologySpec::Fattree { k, n, endpoints } => {
+            let full = (*k as usize).checked_pow(*n);
+            if endpoints.is_some() && *endpoints == full {
+                *endpoints = None;
+            }
+        }
+        TopologySpec::Ghc {
+            dims,
+            ports_per_router,
+            endpoints,
+        } => {
+            let full = dims
+                .iter()
+                .try_fold(1usize, |acc, &d| acc.checked_mul(d as usize))
+                .and_then(|routers| routers.checked_mul(*ports_per_router as usize));
+            if endpoints.is_some() && *endpoints == full {
+                *endpoints = None;
+            }
+        }
+        _ => {}
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus(d: u32) -> TopologySpec {
+        TopologySpec::Torus { dims: vec![d, d] }
+    }
+
+    #[test]
+    fn builds_once_and_counts_hits() {
+        let cache = TopoCache::new(8);
+        let (a, hit_a) = cache.get_or_build(&torus(4)).unwrap();
+        let (b, hit_b) = cache.get_or_build(&torus(4)).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "same spec must share one build");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.tables_built, 1);
+    }
+
+    #[test]
+    fn build_errors_are_returned_per_call() {
+        let cache = TopoCache::new(8);
+        let bad = TopologySpec::Torus { dims: vec![] };
+        assert!(cache.get_or_build(&bad).is_err());
+        assert!(cache.get_or_build(&bad).is_err());
+        // The error slot is cached like any other entry.
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn two_generation_rotation_bounds_the_cache() {
+        let cache = TopoCache::new(4); // half_cap = 2
+        for d in 2..10 {
+            cache.get_or_build(&torus(d)).unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 8);
+        assert_eq!(stats.hits, 0);
+        assert!(stats.entries <= 4, "entries {} exceed cap", stats.entries);
+        assert!(stats.evictions > 0);
+    }
+
+    #[test]
+    fn cap_zero_disables_retention() {
+        let cache = TopoCache::new(0);
+        cache.get_or_build(&torus(4)).unwrap();
+        cache.get_or_build(&torus(4)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn large_topologies_skip_the_route_table() {
+        let cache = TopoCache::with_table_threshold(8, 8);
+        cache.get_or_build(&torus(2)).unwrap(); // 4 endpoints: tabled
+        cache.get_or_build(&torus(4)).unwrap(); // 16 endpoints: raw
+        assert_eq!(cache.stats().tables_built, 1);
+    }
+
+    #[test]
+    fn full_population_spellings_share_a_key() {
+        let explicit = TopologySpec::Fattree {
+            k: 4,
+            n: 2,
+            endpoints: Some(16),
+        };
+        let implicit = TopologySpec::Fattree {
+            k: 4,
+            n: 2,
+            endpoints: None,
+        };
+        let partial = TopologySpec::Fattree {
+            k: 4,
+            n: 2,
+            endpoints: Some(12),
+        };
+        assert_eq!(topology_cache_key(&explicit), topology_cache_key(&implicit));
+        assert_ne!(topology_cache_key(&explicit), topology_cache_key(&partial));
+
+        let ghc_full = TopologySpec::Ghc {
+            dims: vec![4, 4],
+            ports_per_router: 2,
+            endpoints: Some(32),
+        };
+        let ghc_none = TopologySpec::Ghc {
+            dims: vec![4, 4],
+            ports_per_router: 2,
+            endpoints: None,
+        };
+        assert_eq!(topology_cache_key(&ghc_full), topology_cache_key(&ghc_none));
+
+        let cache = TopoCache::new(8);
+        cache.get_or_build(&explicit).unwrap();
+        let (_, hit) = cache.get_or_build(&implicit).unwrap();
+        assert!(hit, "normalised spellings must share one cache entry");
+    }
+
+    #[test]
+    fn concurrent_workers_build_each_spec_once() {
+        let cache = TopoCache::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for d in [4u32, 5, 6] {
+                        cache.get_or_build(&torus(d)).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3, "one build per distinct spec");
+        assert_eq!(stats.hits, 8 * 3 - 3);
+    }
+}

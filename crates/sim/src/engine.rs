@@ -371,6 +371,7 @@ pub struct Simulator<'a> {
     cfg: SimConfig,
     num_links: usize,
     num_eps: usize,
+    topo_cache_hit: bool,
 }
 
 impl<'a> Simulator<'a> {
@@ -386,7 +387,17 @@ impl<'a> Simulator<'a> {
             num_eps: topo.num_endpoints(),
             topo,
             cfg,
+            topo_cache_hit: false,
         }
+    }
+
+    /// Record whether the topology was served from a shared topology
+    /// cache. Pure provenance: it is stamped into the `run_started` trace
+    /// header and the metrics snapshot and never influences the physics —
+    /// a config knob would pollute spec fingerprints, so this lives on the
+    /// simulator instead of [`SimConfig`].
+    pub fn set_topo_cache_hit(&mut self, hit: bool) {
+        self.topo_cache_hit = hit;
     }
 
     /// The configuration in use.
@@ -959,6 +970,7 @@ impl<'a> Simulator<'a> {
             endpoints: self.num_eps as u64,
             batch_epsilon: self.cfg.batch_epsilon,
             capacities_bps: self.resource_capacities(),
+            topo_cache_hit: self.topo_cache_hit,
         });
 
         apply_due_faults!(); // faults scheduled at t = 0 precede all routing
@@ -1219,6 +1231,7 @@ impl<'a> Simulator<'a> {
                 let mut snap = m.snapshot();
                 snap.solver_threads = threads as u64;
                 snap.parallel_solves = solver.parallel_passes;
+                snap.topo_cache_hit = self.topo_cache_hit as u64;
                 snap
             }),
         })

@@ -26,6 +26,12 @@
 
 use serde::{Deserialize, Serialize};
 
+/// `skip_serializing_if` helper: omit a provenance flag while it is
+/// `false` so traces without it stay byte-identical to older ones.
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
 /// One engine state transition, kind-tagged for JSONL serialisation
 /// (`{"event":"flow_started",...}`, one object per line).
 ///
@@ -49,6 +55,15 @@ pub enum TraceEvent {
         batch_epsilon: f64,
         /// Capacity of every resource, bits/second, indexed by resource id.
         capacities_bps: Vec<f64>,
+        /// The topology was served from a shared topology cache (campaign
+        /// runners stamp this; standalone runs leave it `false`). Pure
+        /// provenance: absent from the serialized form when `false`, so
+        /// cache-off traces are byte-identical to pre-cache ones, and —
+        /// like the solver-effort fields of
+        /// [`TraceEvent::RateRecompute`] — it is the only header field
+        /// allowed to differ between cache-on and cache-off runs.
+        #[serde(default, skip_serializing_if = "is_false")]
+        topo_cache_hit: bool,
     },
     /// All dependencies satisfied; the flow left the pending set.
     FlowActivated {
@@ -373,6 +388,7 @@ impl MetricsRegistry {
             deadline_exceeded: self.deadline_exceeded,
             solver_threads: 0,
             parallel_solves: 0,
+            topo_cache_hit: 0,
             solver_seconds_total: self.solver_seconds_total,
             solver_seconds: self.solver_seconds.clone(),
             flows_active: self.flows_active.clone(),
@@ -419,6 +435,10 @@ pub struct MetricsSnapshot {
     /// (engine-stamped, like `solver_threads`).
     #[serde(default)]
     pub parallel_solves: u64,
+    /// Runs whose topology came from a shared topology cache
+    /// (engine-stamped provenance, 0 or 1 per run; never affects physics).
+    #[serde(default)]
+    pub topo_cache_hit: u64,
     /// Total solver wall-clock time, seconds. **Non-deterministic.**
     pub solver_seconds_total: f64,
     /// Per-recompute solver wall time, seconds. **Non-deterministic.**
@@ -445,6 +465,7 @@ mod tests {
                 endpoints: 2,
                 batch_epsilon: 1e-9,
                 capacities_bps: vec![1e10; 8],
+                topo_cache_hit: false,
             },
             TraceEvent::FlowActivated {
                 t: 0.0,

@@ -38,6 +38,7 @@ pub mod jellyfish;
 pub mod kary_tree;
 pub mod mixed_radix;
 pub mod nested;
+pub mod route_table;
 pub mod torus;
 
 pub use connection::{ConnectionRule, UplinkMap};
@@ -48,6 +49,7 @@ pub use jellyfish::Jellyfish;
 pub use kary_tree::KAryTree;
 pub use mixed_radix::MixedRadix;
 pub use nested::{Nested, UpperTierKind};
+pub use route_table::{RouteTable, Tabled, DEFAULT_TABLE_MAX_ENDPOINTS};
 pub use torus::Torus;
 
 use exaflow_netgraph::{LinkId, Network, NodeId};
@@ -162,6 +164,38 @@ pub trait Topology: Send + Sync {
 }
 
 impl Topology for Box<dyn Topology> {
+    fn name(&self) -> String {
+        self.as_ref().name()
+    }
+    fn network(&self) -> &Network {
+        self.as_ref().network()
+    }
+    fn num_endpoints(&self) -> usize {
+        self.as_ref().num_endpoints()
+    }
+    fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>) {
+        self.as_ref().route(src, dst, path)
+    }
+    fn try_route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        path: &mut Vec<LinkId>,
+    ) -> Result<(), RouteError> {
+        self.as_ref().try_route(src, dst, path)
+    }
+    fn link_is_failed(&self, link: LinkId) -> bool {
+        self.as_ref().link_is_failed(link)
+    }
+    fn num_failed_links(&self) -> usize {
+        self.as_ref().num_failed_links()
+    }
+    fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.as_ref().distance(src, dst)
+    }
+}
+
+impl Topology for std::sync::Arc<dyn Topology> {
     fn name(&self) -> String {
         self.as_ref().name()
     }

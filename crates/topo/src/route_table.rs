@@ -1,0 +1,207 @@
+//! Precomputed route tables: materialise every `(src, dst)` path of a
+//! [`Topology`] once, then serve [`Topology::route`], [`Topology::try_route`]
+//! and [`Topology::distance`] from a flat CSR array instead of re-deriving
+//! the path per call.
+//!
+//! This is the per-topology artifact layer of the content-addressed topology
+//! cache (`exaflow::TopoCache`): campaign runners that hammer one topology
+//! with dozens of workloads pay the O(endpoints² · diameter) routing work
+//! once at cache-insert time and O(path) memcpy per route thereafter.
+//!
+//! **Bit-identity is by construction.** [`RouteTable::build`] records the
+//! exact output of the wrapped topology's own `route`, so a [`Tabled`]
+//! topology is observationally indistinguishable from its inner one — same
+//! paths, same distances, same name, same network. Fault wrappers compose
+//! for the same reason: [`Degraded`](crate::Degraded) and
+//! [`FaultOverlay`](crate::FaultOverlay) both ask the inner topology for its
+//! *nominal* route and only reroute the pairs whose nominal path crosses a
+//! down link, so a down link "invalidates" exactly the affected table rows
+//! (those pairs take the wrapper's BFS detour) while every other pair keeps
+//! being served straight from the shared, immutable table.
+//!
+//! Tables are only worth their memory below a size threshold
+//! ([`DEFAULT_TABLE_MAX_ENDPOINTS`]); larger topologies keep on-demand
+//! routing.
+
+use crate::{RouteError, Topology};
+use exaflow_netgraph::{LinkId, Network, NodeId};
+
+/// Default largest endpoint count for which the topology cache materialises
+/// a route table. At 512 endpoints a table holds 512² = 262 144 paths —
+/// a few MiB for the topologies in this workspace — and builds in well
+/// under a second; above that, on-demand routing wins on memory and
+/// insert-time latency.
+pub const DEFAULT_TABLE_MAX_ENDPOINTS: usize = 512;
+
+/// All-pairs routes of a topology in CSR form: the path for `(src, dst)`
+/// is `links[offsets[src·n + dst] .. offsets[src·n + dst + 1]]`.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    num_endpoints: usize,
+    /// `num_endpoints² + 1` offsets into `links`.
+    offsets: Vec<u32>,
+    /// Concatenated per-pair paths, pair-major (`src·n + dst`).
+    links: Vec<LinkId>,
+}
+
+impl RouteTable {
+    /// Build the table by exhaustively invoking `topo.route` for every
+    /// ordered endpoint pair. The recorded paths are byte-for-byte the
+    /// routes the topology itself would produce.
+    pub fn build(topo: &dyn Topology) -> RouteTable {
+        let n = topo.num_endpoints();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        let mut links: Vec<LinkId> = Vec::new();
+        offsets.push(0);
+        let mut path = Vec::new();
+        for src in 0..n as u32 {
+            for dst in 0..n as u32 {
+                path.clear();
+                if src != dst {
+                    topo.route(NodeId(src), NodeId(dst), &mut path);
+                }
+                links.extend_from_slice(&path);
+                let end = u32::try_from(links.len())
+                    .expect("route table exceeds u32 link capacity; raise the size threshold");
+                offsets.push(end);
+            }
+        }
+        RouteTable {
+            num_endpoints: n,
+            offsets,
+            links,
+        }
+    }
+
+    /// Number of endpoints the table covers.
+    pub fn num_endpoints(&self) -> usize {
+        self.num_endpoints
+    }
+
+    /// Total number of stored link hops across all pairs.
+    pub fn total_hops(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The precomputed path for `(src, dst)`; empty when `src == dst`.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> &[LinkId] {
+        let pair = src.index() * self.num_endpoints + dst.index();
+        let lo = self.offsets[pair] as usize;
+        let hi = self.offsets[pair + 1] as usize;
+        &self.links[lo..hi]
+    }
+}
+
+/// A topology whose routing is served from a precomputed [`RouteTable`].
+///
+/// Everything except the route lookup forwards to the inner topology, so a
+/// `Tabled<T>` reports the same name, network, and endpoint count, and its
+/// routes are identical to `T`'s by construction. Fault wrappers layered on
+/// top ([`Degraded`](crate::Degraded), [`FaultOverlay`](crate::FaultOverlay))
+/// see the same nominal paths and therefore make the same reroute decisions.
+pub struct Tabled<T: Topology> {
+    inner: T,
+    table: RouteTable,
+}
+
+impl<T: Topology> Tabled<T> {
+    /// Wrap `inner`, building its full route table eagerly.
+    pub fn new(inner: T) -> Tabled<T> {
+        let table = RouteTable::build(&inner);
+        Tabled { inner, table }
+    }
+
+    /// The wrapped topology.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The precomputed table.
+    pub fn table(&self) -> &RouteTable {
+        &self.table
+    }
+}
+
+impl<T: Topology> Topology for Tabled<T> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn network(&self) -> &Network {
+        self.inner.network()
+    }
+    fn num_endpoints(&self) -> usize {
+        self.inner.num_endpoints()
+    }
+    fn route(&self, src: NodeId, dst: NodeId, path: &mut Vec<LinkId>) {
+        path.extend_from_slice(self.table.path(src, dst));
+    }
+    fn try_route(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        path: &mut Vec<LinkId>,
+    ) -> Result<(), RouteError> {
+        // The table was built from a total topology (generators route
+        // totally by construction; fault wrappers are layered *outside*
+        // the table, never inside), so lookup cannot fail.
+        path.extend_from_slice(self.table.path(src, dst));
+        Ok(())
+    }
+    fn link_is_failed(&self, link: LinkId) -> bool {
+        self.inner.link_is_failed(link)
+    }
+    fn num_failed_links(&self) -> usize {
+        self.inner.num_failed_links()
+    }
+    fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
+        self.table.path(src, dst).len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_route, KAryTree, Torus};
+
+    #[test]
+    fn table_paths_match_on_demand_routing() {
+        let torus = Torus::new(&[4, 4, 2]);
+        let tabled = Tabled::new(Torus::new(&[4, 4, 2]));
+        let n = torus.num_endpoints() as u32;
+        for src in (0..n).map(NodeId) {
+            for dst in (0..n).map(NodeId) {
+                assert_eq!(
+                    tabled.route_vec(src, dst),
+                    torus.route_vec(src, dst),
+                    "pair ({src:?},{dst:?})"
+                );
+                assert_eq!(tabled.distance(src, dst), torus.distance(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn tabled_preserves_routing_invariants() {
+        let tabled = Tabled::new(KAryTree::new(4, 2));
+        let n = tabled.num_endpoints() as u32;
+        for src in (0..n).map(NodeId) {
+            for dst in (0..n).map(NodeId) {
+                check_route(&tabled, src, dst).unwrap();
+            }
+        }
+        assert_eq!(tabled.name(), KAryTree::new(4, 2).name());
+        assert!(!tabled.link_is_failed(LinkId(0)));
+        assert_eq!(tabled.num_failed_links(), 0);
+    }
+
+    #[test]
+    fn self_routes_are_empty() {
+        let tabled = Tabled::new(Torus::new(&[3, 3]));
+        for ep in (0..tabled.num_endpoints() as u32).map(NodeId) {
+            assert!(tabled.route_vec(ep, ep).is_empty());
+            let mut p = Vec::new();
+            tabled.try_route(ep, ep, &mut p).unwrap();
+            assert!(p.is_empty());
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Property tests for the precomputed route-table layer: on random small
+//! instances of every topology family, a [`Tabled`] wrapper must be
+//! observationally identical to on-demand routing — the exact same path
+//! (not just the same length) for **every** ordered endpoint pair — and
+//! fault wrappers layered on top of the table must agree with the same
+//! wrappers layered on the raw topology, route-for-route and
+//! error-for-error, under randomly sampled down-link sets.
+
+use exaflow_netgraph::{LinkId, NodeId};
+use exaflow_topo::{
+    ConnectionRule, Degraded, FaultOverlay, GeneralizedHypercube, KAryTree, Nested, Tabled,
+    Topology, Torus, UpperTierKind,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// All-pairs exhaustive comparison: the table serves byte-for-byte the
+/// path `raw.try_route` derives, and the distances agree. Generators are
+/// deterministic but not `Clone`, so instances come from a factory.
+fn check_all_pairs<T: Topology>(make: impl Fn() -> T) -> Result<(), TestCaseError> {
+    let raw = make();
+    let tabled = Tabled::new(make());
+    prop_assert_eq!(tabled.num_endpoints(), raw.num_endpoints());
+    prop_assert_eq!(tabled.name(), raw.name());
+    let n = raw.num_endpoints() as u32;
+    for src in (0..n).map(NodeId) {
+        for dst in (0..n).map(NodeId) {
+            let mut want = Vec::new();
+            let mut got = Vec::new();
+            raw.try_route(src, dst, &mut want).unwrap();
+            tabled.try_route(src, dst, &mut got).unwrap();
+            prop_assert_eq!(
+                &got,
+                &want,
+                "table path diverged for {:?} -> {:?}",
+                src,
+                dst
+            );
+            prop_assert_eq!(tabled.distance(src, dst), raw.distance(src, dst));
+        }
+    }
+    Ok(())
+}
+
+/// Fault composition: `Degraded` over a table and `Degraded` over the raw
+/// topology must make identical decisions for every pair — same detour or
+/// same typed partition error — because both see the same nominal routes.
+fn check_degraded_composition<T: Topology>(
+    make: impl Fn() -> T,
+    cables: usize,
+    fail_seed: u64,
+) -> Result<(), TestCaseError> {
+    let want = Degraded::with_random_failures(make(), cables, fail_seed);
+    let got = Degraded::with_random_failures(Tabled::new(make()), cables, fail_seed);
+    // The same seed draws the same cable *set*; iteration order is
+    // hash-state dependent, so compare sorted.
+    let mut failed_want: Vec<LinkId> = want.failed_links().collect();
+    let mut failed_got: Vec<LinkId> = got.failed_links().collect();
+    failed_want.sort_by_key(|l| l.index());
+    failed_got.sort_by_key(|l| l.index());
+    prop_assert_eq!(&failed_got, &failed_want, "failure draws diverged");
+    let n = want.num_endpoints() as u32;
+    for src in (0..n).map(NodeId) {
+        for dst in (0..n).map(NodeId) {
+            let mut pw = Vec::new();
+            let mut pg = Vec::new();
+            let rw = want.try_route(src, dst, &mut pw);
+            let rg = got.try_route(src, dst, &mut pg);
+            match (rw, rg) {
+                (Ok(()), Ok(())) => prop_assert_eq!(
+                    &pg,
+                    &pw,
+                    "degraded path diverged for {:?} -> {:?} over {:?}",
+                    src,
+                    dst,
+                    &failed_want
+                ),
+                (Err(ew), Err(eg)) => {
+                    prop_assert_eq!((eg.src, eg.dst), (ew.src, ew.dst));
+                }
+                (rw, rg) => {
+                    return Err(TestCaseError(format!(
+                        "routability diverged for {src:?} -> {dst:?}: raw {rw:?} vs tabled {rg:?}"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Dynamic faults: drive identical fail/restore sequences through overlays
+/// on the raw and on the tabled topology; every sampled pair must agree.
+/// Down links invalidate exactly the affected table rows — the overlay
+/// detours those pairs and keeps serving the rest straight from the table.
+fn check_overlay_composition<T: Topology>(
+    make: impl Fn() -> T,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let raw = make();
+    let tabled = Tabled::new(make());
+    let mut over_raw = FaultOverlay::new(&raw);
+    let mut over_tab = FaultOverlay::new(&tabled);
+    let e = raw.num_endpoints() as u64;
+    let nl = raw.network().num_links() as u64;
+    let mut s = seed;
+    let mut step = || {
+        s = s
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        s
+    };
+    for round in 0..8 {
+        let link = LinkId((step() % nl) as u32);
+        if round % 3 == 2 {
+            over_raw.restore_link(link);
+            over_tab.restore_link(link);
+        } else {
+            over_raw.fail_link(link);
+            over_tab.fail_link(link);
+        }
+        let r = step();
+        let src = NodeId((r % e) as u32);
+        let dst = NodeId(((r >> 32) % e) as u32);
+        let mut pw = Vec::new();
+        let mut pg = Vec::new();
+        match (
+            over_raw.try_route(src, dst, &mut pw),
+            over_tab.try_route(src, dst, &mut pg),
+        ) {
+            (Ok(()), Ok(())) => prop_assert_eq!(&pg, &pw, "overlay path diverged"),
+            (Err(ew), Err(eg)) => prop_assert_eq!((eg.src, eg.dst), (ew.src, ew.dst)),
+            (rw, rg) => {
+                return Err(TestCaseError(format!(
+                    "overlay routability diverged for {src:?} -> {dst:?}: {rw:?} vs {rg:?}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn nested(subtori: u64, u: u32, tree: bool) -> Nested {
+    let kind = if tree {
+        UpperTierKind::Fattree
+    } else {
+        UpperTierKind::GeneralizedHypercube
+    };
+    Nested::new(kind, subtori, 2, ConnectionRule::from_u(u).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn torus_tables_match_on_demand(
+        dims in prop::collection::vec(2u32..5, 1..4),
+    ) {
+        check_all_pairs(|| Torus::new(&dims))?;
+    }
+
+    #[test]
+    fn fattree_tables_match_on_demand(k in 2u32..5, n in 2u32..4) {
+        check_all_pairs(|| KAryTree::new(k, n))?;
+    }
+
+    #[test]
+    fn ghc_tables_match_on_demand(
+        dims in prop::collection::vec(2u32..5, 1..3),
+        ports in 1u32..4,
+    ) {
+        check_all_pairs(|| GeneralizedHypercube::new(&dims, ports))?;
+    }
+
+    #[test]
+    fn nested_tables_match_on_demand(
+        subtori in 1u64..6,
+        u in prop::sample::select(vec![1u32, 2, 4]),
+        tree in any::<bool>(),
+    ) {
+        check_all_pairs(|| nested(subtori, u, tree))?;
+    }
+
+    #[test]
+    fn torus_degraded_composition_is_identical(
+        dims in prop::collection::vec(2u32..5, 1..4),
+        cables in 0usize..6,
+        fail_seed in any::<u64>(),
+    ) {
+        check_degraded_composition(|| Torus::new(&dims), cables, fail_seed)?;
+    }
+
+    #[test]
+    fn fattree_degraded_composition_is_identical(
+        k in 2u32..4,
+        n in 2u32..4,
+        cables in 0usize..6,
+        fail_seed in any::<u64>(),
+    ) {
+        check_degraded_composition(|| KAryTree::new(k, n), cables, fail_seed)?;
+    }
+
+    #[test]
+    fn ghc_degraded_composition_is_identical(
+        dims in prop::collection::vec(2u32..5, 1..3),
+        cables in 0usize..6,
+        fail_seed in any::<u64>(),
+    ) {
+        check_degraded_composition(|| GeneralizedHypercube::new(&dims, 2), cables, fail_seed)?;
+    }
+
+    #[test]
+    fn nested_degraded_composition_is_identical(
+        subtori in 1u64..5,
+        u in prop::sample::select(vec![1u32, 2, 4]),
+        tree in any::<bool>(),
+        cables in 0usize..4,
+        fail_seed in any::<u64>(),
+    ) {
+        check_degraded_composition(|| nested(subtori, u, tree), cables, fail_seed)?;
+    }
+
+    #[test]
+    fn overlay_composition_is_identical(
+        dims in prop::collection::vec(2u32..5, 1..4),
+        seed in any::<u64>(),
+    ) {
+        check_overlay_composition(|| Torus::new(&dims), seed)?;
+    }
+
+    #[test]
+    fn overlay_composition_is_identical_on_trees(
+        k in 2u32..5,
+        n in 2u32..4,
+        seed in any::<u64>(),
+    ) {
+        check_overlay_composition(|| KAryTree::new(k, n), seed)?;
+    }
+}

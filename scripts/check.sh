@@ -26,6 +26,12 @@ $TIMEOUT 900 cargo test -q -p exaflow-suite --test engine_equiv
 echo "== crash-safety gate: kill-and-resume, torn journals, retry/quarantine"
 $TIMEOUT 900 cargo test -q -p exaflow-cli --test cli campaign
 
+echo "== topology-cache differential gate with EXAFLOW_THREADS=1"
+EXAFLOW_THREADS=1 $TIMEOUT 900 cargo test -q -p exaflow-suite --test topo_cache_equiv
+
+echo "== topology-cache differential gate with the default thread count"
+$TIMEOUT 900 cargo test -q -p exaflow-suite --test topo_cache_equiv
+
 echo "== cargo bench --no-run (benches must keep compiling)"
 $TIMEOUT 1800 cargo bench --workspace --no-run
 

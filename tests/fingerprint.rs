@@ -161,3 +161,145 @@ fn value_swaps_change_the_fingerprint() {
         "same params under a different variant tag must differ"
     );
 }
+
+// --------------------------------------------------------------------------
+// Topology-cache keys ([`topology_cache_key`]): like the journal
+// fingerprint, the key must be content-addressed — insensitive to serde
+// key order — and additionally insensitive to graph-irrelevant spelling:
+// an explicit full-population endpoint count builds the identical graph
+// as the defaulted `None`, so both must land on one cache entry.
+// --------------------------------------------------------------------------
+
+/// The regression this guards: before normalization, `endpoints: Some(16)`
+/// and `endpoints: None` on a k=4/n=2 fattree (full population = 16)
+/// fingerprinted differently and built the same topology twice.
+#[test]
+fn cache_key_ignores_full_population_endpoint_spelling() {
+    let explicit = TopologySpec::Fattree {
+        k: 4,
+        n: 2,
+        endpoints: Some(16),
+    };
+    let defaulted = TopologySpec::Fattree {
+        k: 4,
+        n: 2,
+        endpoints: None,
+    };
+    assert_eq!(
+        topology_cache_key(&explicit),
+        topology_cache_key(&defaulted),
+        "full-population fattree spellings build the same graph"
+    );
+    // A genuinely partial population is a different graph: distinct key.
+    let partial = TopologySpec::Fattree {
+        k: 4,
+        n: 2,
+        endpoints: Some(8),
+    };
+    assert_ne!(topology_cache_key(&partial), topology_cache_key(&defaulted));
+
+    let ghc_explicit = TopologySpec::Ghc {
+        dims: vec![4, 4],
+        ports_per_router: 2,
+        endpoints: Some(32),
+    };
+    let ghc_defaulted = TopologySpec::Ghc {
+        dims: vec![4, 4],
+        ports_per_router: 2,
+        endpoints: None,
+    };
+    assert_eq!(
+        topology_cache_key(&ghc_explicit),
+        topology_cache_key(&ghc_defaulted),
+        "full-population GHC spellings build the same graph"
+    );
+    assert_ne!(
+        topology_cache_key(&TopologySpec::Ghc {
+            dims: vec![4, 4],
+            ports_per_router: 2,
+            endpoints: Some(16),
+        }),
+        topology_cache_key(&ghc_defaulted)
+    );
+}
+
+/// Spellings that share a cache key must actually build identical graphs —
+/// the soundness side of the normalization above.
+#[test]
+fn cache_key_sharing_spellings_build_identical_topologies() {
+    let pairs = [
+        (
+            TopologySpec::Fattree {
+                k: 4,
+                n: 2,
+                endpoints: Some(16),
+            },
+            TopologySpec::Fattree {
+                k: 4,
+                n: 2,
+                endpoints: None,
+            },
+        ),
+        (
+            TopologySpec::Ghc {
+                dims: vec![4, 4],
+                ports_per_router: 2,
+                endpoints: Some(32),
+            },
+            TopologySpec::Ghc {
+                dims: vec![4, 4],
+                ports_per_router: 2,
+                endpoints: None,
+            },
+        ),
+    ];
+    for (a, b) in pairs {
+        assert_eq!(topology_cache_key(&a), topology_cache_key(&b));
+        let ta = a.build().unwrap();
+        let tb = b.build().unwrap();
+        assert_eq!(ta.num_endpoints(), tb.num_endpoints());
+        assert_eq!(ta.name(), tb.name());
+        let n = ta.num_endpoints() as u32;
+        for src in (0..n).map(NodeId) {
+            for dst in (0..n).map(NodeId) {
+                assert_eq!(ta.route_vec(src, dst), tb.route_vec(src, dst));
+            }
+        }
+    }
+}
+
+proptest::proptest! {
+    /// Cache keys, like journal fingerprints, must survive JSON key-order
+    /// permutation: a spec parsed from a reordered sweep file lands on the
+    /// same cache entry.
+    #[test]
+    fn cache_key_ignores_json_key_order(cfg in config_strategy()) {
+        let spec = cfg.topology;
+        let permuted = serde_json::to_string(
+            &reverse_keys(&serde_json::to_value(&spec).unwrap()),
+        )
+        .unwrap();
+        let back: TopologySpec = serde_json::from_str(&permuted).unwrap();
+        proptest::prop_assert_eq!(topology_cache_key(&back), topology_cache_key(&spec));
+    }
+
+    /// Distinct topology specs get distinct cache keys (dedup by
+    /// *normalized* content: full-population spellings legitimately
+    /// collide by design).
+    #[test]
+    fn distinct_topology_specs_never_share_a_cache_key(
+        cfgs in proptest::collection::vec(config_strategy(), 2..40),
+    ) {
+        let mut seen: std::collections::HashMap<String, String> =
+            std::collections::HashMap::new();
+        for cfg in &cfgs {
+            let spec = &cfg.topology;
+            let content = serde_json::to_string(spec).unwrap();
+            let key = topology_cache_key(spec);
+            if let Some(prior) = seen.get(&key) {
+                proptest::prop_assert_eq!(prior, &content, "collision on {}", key);
+            }
+            seen.insert(key, content);
+        }
+    }
+}

@@ -159,7 +159,13 @@ fn suite_report_matches_results() {
 
     let json = serde_json::to_string(&run.report).unwrap();
     let back: SuiteReport = serde_json::from_str(&json).unwrap();
-    assert_eq!(back, run.report);
+    // Topology-cache stats are in-memory provenance and never serialize:
+    // report files must stay byte-identical cache-on vs cache-off.
+    assert!(!json.contains("topo_cache"), "{json}");
+    assert_eq!(back.topo_cache, None);
+    let mut expect = run.report.clone();
+    expect.topo_cache = None;
+    assert_eq!(back, expect);
 }
 
 /// A worker thread dying outright (panic outside the per-experiment
