@@ -20,10 +20,17 @@ pub struct DistanceStats {
     pub sources_measured: usize,
     /// Whether every endpoint served as a source (exact statistics).
     pub exact: bool,
+    /// Standard error of `average` across per-source means; only present
+    /// for stratified sampled estimates (see `distance_estimate`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stderr: Option<f64>,
+    /// Half-width of the 95% confidence interval, `1.96 · stderr`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub confidence_95: Option<f64>,
 }
 
 impl DistanceStats {
-    fn from_histogram(histogram: Vec<u64>, sources: usize, exact: bool) -> Self {
+    pub(crate) fn from_histogram(mut histogram: Vec<u64>, sources: usize, exact: bool) -> Self {
         let mut total_pairs = 0u64;
         let mut total_hops = 0u64;
         let mut diameter = 0u32;
@@ -34,6 +41,15 @@ impl DistanceStats {
                 diameter = d as u32;
             }
         }
+        // Histograms arrive pre-sized to the topology's diameter *bound*;
+        // drop the slack above the observed diameter so the shape matches
+        // the historical grow-on-demand layout: `len == diameter + 1`, or
+        // empty when nothing was measured.
+        histogram.truncate(if total_pairs == 0 {
+            0
+        } else {
+            diameter as usize + 1
+        });
         DistanceStats {
             average: if total_pairs == 0 {
                 0.0
@@ -44,29 +60,40 @@ impl DistanceStats {
             histogram,
             sources_measured: sources,
             exact,
+            stderr: None,
+            confidence_95: None,
         }
     }
 }
 
-fn accumulate(topo: &dyn Topology, src: NodeId, histogram: &mut Vec<u64>) {
+/// Tally `src → d` route distances for every destination endpoint into a
+/// histogram pre-sized to `diameter_bound() + 1` (no growth in the hot
+/// loop), returning the total hops contributed by this source.
+pub(crate) fn accumulate(topo: &dyn Topology, src: NodeId, histogram: &mut [u64]) -> u64 {
     let e = topo.num_endpoints() as u32;
+    let mut hops = 0u64;
     for d in 0..e {
         if d == src.0 {
             continue;
         }
-        let dist = topo.distance(src, NodeId(d)) as usize;
-        if dist >= histogram.len() {
-            histogram.resize(dist + 1, 0);
-        }
-        histogram[dist] += 1;
+        let dist = topo.distance(src, NodeId(d));
+        histogram[dist as usize] += 1;
+        hops += dist as u64;
     }
+    hops
+}
+
+/// A zeroed histogram sized so that [`accumulate`] can never index out of
+/// bounds: one slot per distance in `0..=diameter_bound()`.
+pub(crate) fn sized_histogram(topo: &dyn Topology) -> Vec<u64> {
+    vec![0u64; topo.diameter_bound() as usize + 1]
 }
 
 /// Exact statistics over all ordered endpoint pairs (`O(E²)` distance
 /// evaluations).
 pub fn distance_stats_exact(topo: &dyn Topology) -> DistanceStats {
     let e = topo.num_endpoints();
-    let mut histogram = Vec::new();
+    let mut histogram = sized_histogram(topo);
     for s in 0..e as u32 {
         accumulate(topo, NodeId(s), &mut histogram);
     }
@@ -101,7 +128,7 @@ pub fn distance_survey(
             sources.push(cand);
         }
     }
-    let mut histogram = Vec::new();
+    let mut histogram = sized_histogram(topo);
     for &s in &sources {
         accumulate(topo, NodeId(s), &mut histogram);
     }
@@ -189,5 +216,37 @@ mod tests {
         let s = DistanceStats::from_histogram(vec![], 0, true);
         assert_eq!(s.average, 0.0);
         assert_eq!(s.diameter, 0);
+    }
+
+    #[test]
+    fn histogram_length_is_diameter_plus_one() {
+        // The histogram is pre-sized to the diameter *bound* (which for
+        // the nested hybrids overestimates: not every pair takes the worst
+        // DOR leg on both sides), so the constructor must trim the slack
+        // back to exactly `diameter + 1`.
+        use exaflow_topo::Topology;
+        let topos: Vec<Box<dyn Topology>> = vec![
+            Box::new(Torus::new(&[4, 4, 2])),
+            Box::new(KAryTree::with_endpoints(4, 2, 9)),
+            Box::new(Nested::new(
+                UpperTierKind::GeneralizedHypercube,
+                8,
+                2,
+                ConnectionRule::QuarterNodes,
+            )),
+        ];
+        for topo in &topos {
+            let s = distance_stats_exact(topo.as_ref());
+            assert_eq!(
+                s.histogram.len(),
+                s.diameter as usize + 1,
+                "{}",
+                topo.name()
+            );
+            assert!(s.diameter <= topo.diameter_bound(), "{}", topo.name());
+        }
+        // Pre-sized zero histograms from sourceless runs trim to empty.
+        let s = DistanceStats::from_histogram(vec![0; 8], 0, true);
+        assert!(s.histogram.is_empty());
     }
 }

@@ -14,9 +14,19 @@
 //!   single source; for the hybrids at full scale (131 072 endpoints) a few
 //!   hundred sampled sources estimate the average to well under 0.1% and
 //!   reliably find the diameter, since worst-case pairs are abundant.
+//! * [`distance_sweep`] / [`distance_estimate`] — the paper-scale engine:
+//!   a `WorkerPool`-parallel all-sources sweep that is bit-identical to
+//!   [`distance_stats_exact`] at any thread count, and a stratified
+//!   deterministic source-sampling estimator that reports a standard error
+//!   and 95% confidence half-width alongside the point estimate.
+//! * [`physical_distance_sweep`] — the same harness over the frontier-
+//!   bitset BFS kernel, measuring physical shortest-path distances (a
+//!   lower bound certifying routing minimality where it matches).
 
 pub mod distance;
 pub mod load;
+pub mod sweep;
 
 pub use distance::{distance_stats_exact, distance_survey, DistanceStats};
 pub use load::{channel_load_survey, LoadStats};
+pub use sweep::{distance_estimate, distance_sweep, physical_distance_sweep, stratified_sources};

@@ -1,0 +1,313 @@
+//! Parallel distance sweeps and stratified sampled estimators.
+//!
+//! This module is the paper-scale engine behind Table 1: where
+//! [`distance_stats_exact`](crate::distance_stats_exact) walks every
+//! ordered pair from a single thread, [`distance_sweep`] partitions the
+//! source endpoints into deterministic contiguous chunks across a
+//! [`WorkerPool`] and merges per-worker histograms in fixed worker order.
+//! Because the histograms hold `u64` counts, the merged result is
+//! **bit-identical** to the sequential path at any thread count.
+//!
+//! For systems where even a parallel all-sources sweep is too expensive
+//! (131,072 QFDBs means 1.7·10¹⁰ ordered pairs), [`distance_estimate`]
+//! measures a stratified deterministic sample of sources: the endpoint
+//! range is split into `samples` equal strata and one source per stratum
+//! is picked by a SplitMix64 stream seeded from the caller's seed. Every
+//! source still scans *all* destinations, so each per-source mean is an
+//! unbiased estimate of the population mean and the spread between them
+//! yields a standard error ([`DistanceStats::stderr`]) and a 95%
+//! confidence half-width ([`DistanceStats::confidence_95`]).
+//!
+//! [`physical_distance_sweep`] applies the same parallel harness to the
+//! frontier-bitset BFS kernel ([`exaflow_netgraph::PhysCsr`]), measuring
+//! *physical shortest-path* distances instead of deterministic-route
+//! distances — the gap between the two is the routing-minimality cost of
+//! a topology's routing rule (zero for torus/fattree/GHC, nonzero for the
+//! nested hybrids whose intra-subtorus traffic must stay local).
+
+use crate::distance::{accumulate, sized_histogram, DistanceStats};
+use exaflow_netgraph::{BfsScratch, NodeId, PhysCsr};
+use exaflow_sim::WorkerPool;
+use exaflow_topo::Topology;
+use std::sync::Mutex;
+
+/// Per-worker partial result, handed back through a dedicated slot.
+struct WorkerOut {
+    histogram: Vec<u64>,
+    /// Total hops per source in this worker's chunk, in chunk order.
+    source_hops: Vec<u64>,
+}
+
+/// Contiguous chunk `[start, end)` of `len` items owned by worker `w` of
+/// `workers`; the first `len % workers` chunks take one extra item.
+fn chunk_bounds(len: usize, workers: usize, w: usize) -> (usize, usize) {
+    let per = len / workers;
+    let rem = len % workers;
+    let start = w * per + w.min(rem);
+    (start, start + per + usize::from(w < rem))
+}
+
+/// Run `per_source` over a static partition of `sources` on `threads`
+/// threads and merge the per-worker histograms in fixed worker order.
+/// Returns the merged histogram plus per-source hop totals in `sources`
+/// order.
+fn parallel_tally<F>(
+    sources: &[u32],
+    threads: usize,
+    histogram_len: usize,
+    per_source: F,
+) -> (Vec<u64>, Vec<u64>)
+where
+    F: Fn(usize, u32, &mut [u64]) -> u64 + Sync,
+{
+    let workers = threads.max(1).min(sources.len().max(1));
+    let pool = WorkerPool::new(workers);
+    let slots: Vec<Mutex<Option<WorkerOut>>> = (0..workers).map(|_| Mutex::new(None)).collect();
+    pool.run(|w| {
+        let (lo, hi) = chunk_bounds(sources.len(), workers, w);
+        let mut histogram = vec![0u64; histogram_len];
+        let mut source_hops = Vec::with_capacity(hi - lo);
+        for &s in &sources[lo..hi] {
+            source_hops.push(per_source(w, s, &mut histogram));
+        }
+        *slots[w].lock().unwrap() = Some(WorkerOut {
+            histogram,
+            source_hops,
+        });
+    });
+    let mut histogram = vec![0u64; histogram_len];
+    let mut hops = Vec::with_capacity(sources.len());
+    for slot in &slots {
+        let out = slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("every pool worker fills its slot exactly once");
+        for (acc, v) in histogram.iter_mut().zip(&out.histogram) {
+            *acc += v;
+        }
+        hops.extend(out.source_hops);
+    }
+    (histogram, hops)
+}
+
+/// Exact all-sources distance statistics computed on `threads` threads.
+///
+/// Bit-identical to [`distance_stats_exact`](crate::distance_stats_exact)
+/// at every thread count: sources are partitioned statically, histogram
+/// counts are integers, and per-worker histograms merge in fixed order, so
+/// neither scheduling nor summation order can perturb the result.
+pub fn distance_sweep(topo: &dyn Topology, threads: usize) -> DistanceStats {
+    let e = topo.num_endpoints();
+    let sources: Vec<u32> = (0..e as u32).collect();
+    let len = sized_histogram(topo).len();
+    let (histogram, _) = parallel_tally(&sources, threads, len, |_, s, hist| {
+        accumulate(topo, NodeId(s), hist)
+    });
+    DistanceStats::from_histogram(histogram, e, true)
+}
+
+/// Stratified deterministic source sample: the endpoint range is split
+/// into `samples` equal strata and one source per stratum is chosen by a
+/// SplitMix64 stream over `seed`. Requires `samples < endpoints`; sources
+/// are distinct by construction (strata are disjoint) and reproducible
+/// for a given `(endpoints, samples, seed)`.
+pub fn stratified_sources(endpoints: usize, samples: usize, seed: u64) -> Vec<u32> {
+    assert!(
+        samples < endpoints,
+        "stratified sample of {samples} needs fewer sources than {endpoints} endpoints"
+    );
+    let n = samples.max(1);
+    (0..n)
+        .map(|i| {
+            let lo = i * endpoints / n;
+            let hi = (i + 1) * endpoints / n;
+            let off = splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            (lo as u64 + off % (hi - lo) as u64) as u32
+        })
+        .collect()
+}
+
+/// Sampled distance statistics with error bounds, computed on `threads`
+/// threads.
+///
+/// When the sample would cover every endpoint this delegates to
+/// [`distance_sweep`], so `sources = all` is bit-identical to the exact
+/// path (`exact: true`, no error bounds). Otherwise it measures a
+/// [`stratified_sources`] sample against all destinations and reports the
+/// spread of the per-source means as [`DistanceStats::stderr`] /
+/// [`DistanceStats::confidence_95`]. The stderr uses the iid sample
+/// formula, which *over*states the error of a stratified sample — the
+/// reported interval is conservative.
+pub fn distance_estimate(
+    topo: &dyn Topology,
+    samples: usize,
+    seed: u64,
+    threads: usize,
+) -> DistanceStats {
+    let e = topo.num_endpoints();
+    if samples >= e {
+        return distance_sweep(topo, threads);
+    }
+    let sources = stratified_sources(e, samples, seed);
+    let len = sized_histogram(topo).len();
+    let (histogram, hops) = parallel_tally(&sources, threads, len, |_, s, hist| {
+        accumulate(topo, NodeId(s), hist)
+    });
+    let mut stats = DistanceStats::from_histogram(histogram, sources.len(), false);
+    if sources.len() >= 2 && e >= 2 {
+        let dests = (e - 1) as f64;
+        let means: Vec<f64> = hops.iter().map(|&h| h as f64 / dests).collect();
+        let n = means.len() as f64;
+        let mean = means.iter().sum::<f64>() / n;
+        let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n - 1.0);
+        let stderr = (var / n).sqrt();
+        stats.stderr = Some(stderr);
+        stats.confidence_95 = Some(1.96 * stderr);
+    }
+    stats
+}
+
+/// Physical shortest-path statistics over `sources`, computed with the
+/// allocation-free frontier-bitset BFS kernel on `threads` threads. Each
+/// worker owns one [`BfsScratch`] reused across its whole chunk; no per-
+/// source allocation happens after warm-up.
+///
+/// The metric is graph distance over physical links, a lower bound on the
+/// deterministic-route distance reported by [`distance_sweep`]; equality
+/// certifies that the routing rule is minimal.
+pub fn physical_distance_sweep(
+    topo: &dyn Topology,
+    sources: &[NodeId],
+    threads: usize,
+) -> DistanceStats {
+    let csr = PhysCsr::new(topo.network());
+    let len = sized_histogram(topo).len();
+    let sources: Vec<u32> = sources.iter().map(|n| n.0).collect();
+    let scratches: Vec<Mutex<BfsScratch>> = (0..threads.max(1))
+        .map(|_| Mutex::new(BfsScratch::new(csr.num_nodes())))
+        .collect();
+    let (histogram, _) = parallel_tally(&sources, threads, len, |w, s, hist| {
+        let mut scratch = scratches[w].lock().unwrap();
+        scratch.endpoint_histogram(&csr, NodeId(s), hist)
+    });
+    let exact = sources.len() == topo.num_endpoints();
+    DistanceStats::from_histogram(histogram, sources.len(), exact)
+}
+
+/// SplitMix64 mix function (Steele, Lea & Flood; public-domain constants).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance_stats_exact;
+    use exaflow_topo::{ConnectionRule, KAryTree, Nested, Torus, UpperTierKind};
+
+    #[test]
+    fn sweep_matches_exact_at_every_thread_count() {
+        let n = Nested::new(UpperTierKind::Fattree, 8, 2, ConnectionRule::QuarterNodes);
+        let exact = distance_stats_exact(&n);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(distance_sweep(&n, threads), exact, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn estimate_with_full_coverage_is_exact() {
+        let t = Torus::new(&[4, 4]);
+        let s = distance_estimate(&t, 1_000, 42, 2);
+        assert_eq!(s, distance_stats_exact(&t));
+        assert!(s.exact);
+        assert!(s.stderr.is_none());
+    }
+
+    #[test]
+    fn stratified_sources_are_distinct_in_range_and_deterministic() {
+        let a = stratified_sources(1_000, 64, 0xABCD);
+        let b = stratified_sources(1_000, 64, 0xABCD);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "strata are disjoint");
+        assert!(a.iter().all(|&s| s < 1_000));
+        assert_ne!(a, stratified_sources(1_000, 64, 0xABCE), "seed matters");
+    }
+
+    #[test]
+    fn estimate_reports_error_bounds_on_a_partial_tree() {
+        let t = KAryTree::with_endpoints(4, 3, 50);
+        let exact = distance_stats_exact(&t);
+        let est = distance_estimate(&t, 16, 7, 2);
+        assert!(!est.exact);
+        assert_eq!(est.sources_measured, 16);
+        let conf = est.confidence_95.expect("sampled run reports a CI");
+        assert!(conf >= 0.0);
+        assert!(
+            (est.average - exact.average).abs() <= conf.max(0.35),
+            "estimate {} vs exact {} outside CI {conf}",
+            est.average,
+            exact.average
+        );
+    }
+
+    #[test]
+    fn torus_estimate_is_exact_by_symmetry() {
+        // A torus is vertex-transitive: every source sees the same distance
+        // multiset, so any source sample reproduces the exact mean with
+        // zero variance.
+        let t = Torus::new(&[6, 6, 2]);
+        let exact = distance_stats_exact(&t);
+        let est = distance_estimate(&t, 5, 99, 1);
+        assert!((est.average - exact.average).abs() < 1e-12);
+        // Not exactly zero: summing identical per-source means and dividing
+        // back can round in the last ulp.
+        assert!(est.stderr.unwrap() < 1e-12);
+        assert_eq!(est.diameter, exact.diameter);
+    }
+
+    #[test]
+    fn physical_sweep_matches_route_sweep_on_minimal_topologies() {
+        // Torus DOR and fattree up/down routing are minimal, so physical
+        // shortest-path statistics equal route statistics exactly.
+        let all = |e: usize| (0..e as u32).map(NodeId).collect::<Vec<_>>();
+        let t = Torus::new(&[4, 4, 2]);
+        let p = physical_distance_sweep(&t, &all(t.num_endpoints()), 2);
+        assert_eq!(p, distance_stats_exact(&t));
+        let f = KAryTree::new(4, 2);
+        let p = physical_distance_sweep(&f, &all(f.num_endpoints()), 3);
+        assert_eq!(p, distance_stats_exact(&f));
+    }
+
+    #[test]
+    fn physical_sweep_lower_bounds_routes_on_hybrids() {
+        let n = Nested::new(UpperTierKind::Fattree, 8, 2, ConnectionRule::EveryNode);
+        let all: Vec<NodeId> = (0..n.num_endpoints() as u32).map(NodeId).collect();
+        let phys = physical_distance_sweep(&n, &all, 2);
+        let routed = distance_stats_exact(&n);
+        assert!(phys.average <= routed.average + 1e-12);
+        assert!(phys.diameter <= routed.diameter);
+    }
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for len in [0usize, 1, 7, 64, 100] {
+            for workers in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                for w in 0..workers {
+                    let (lo, hi) = chunk_bounds(len, workers, w);
+                    assert_eq!(lo, covered);
+                    covered = hi;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the paper-scale sweep layer: the sampled estimator
+//! with full coverage must be *bit-identical* to the exact sequential
+//! path, and stratified estimates on random topology instances must land
+//! within the confidence interval they themselves report.
+
+use exaflow_analysis::{distance_estimate, distance_stats_exact, distance_sweep};
+use exaflow_topo::{GeneralizedHypercube, KAryTree, Topology, Torus};
+use proptest::prelude::*;
+
+fn torus_dims() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(2u32..6, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `sources = all` (any samples >= endpoints) delegates to the exact
+    /// sweep: identical average, diameter, histogram, flags, and absent
+    /// error bounds — at any thread count.
+    #[test]
+    fn full_coverage_estimate_is_bit_identical_to_exact(
+        dims in torus_dims(),
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let t = Torus::new(&dims);
+        let exact = distance_stats_exact(&t);
+        let est = distance_estimate(&t, t.num_endpoints(), seed, threads);
+        prop_assert_eq!(&est, &exact);
+        prop_assert!(est.exact);
+        prop_assert!(est.stderr.is_none() && est.confidence_95.is_none());
+    }
+
+    /// The parallel sweep is the exact path, bit for bit.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_exact(
+        dims in torus_dims(),
+        threads in 1usize..9,
+    ) {
+        let t = Torus::new(&dims);
+        prop_assert_eq!(distance_sweep(&t, threads), distance_stats_exact(&t));
+    }
+
+    /// Stratified estimates on random tori: vertex-transitive, so any
+    /// sample nails the exact mean and the reported CI contains it.
+    #[test]
+    fn torus_estimate_within_confidence_interval(
+        dims in torus_dims(),
+        seed in any::<u64>(),
+    ) {
+        let t = Torus::new(&dims);
+        let e = t.num_endpoints();
+        if e >= 8 {
+            let exact = distance_stats_exact(&t);
+            let est = distance_estimate(&t, (e / 2).max(2), seed, 2);
+            let conf = est.confidence_95.expect("sampled run reports a CI");
+            prop_assert!((est.average - exact.average).abs() <= conf + 1e-9);
+        }
+    }
+
+    /// Stratified estimates on random partially-populated fattrees land
+    /// within the reported CI (the iid stderr overstates stratified
+    /// error, so the interval is conservative).
+    #[test]
+    fn fattree_estimate_within_confidence_interval(
+        k in 2u32..5,
+        n in 2u32..4,
+        frac in 0.4f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let max = (k as u64).pow(n) as usize;
+        let eps = ((max as f64 * frac) as usize).clamp(2, max);
+        let t = KAryTree::with_endpoints(k, n, eps);
+        let e = t.num_endpoints();
+        if e >= 8 {
+            let exact = distance_stats_exact(&t);
+            let est = distance_estimate(&t, (e / 2).max(4).min(e - 1), seed, 2);
+            let conf = est.confidence_95.expect("sampled run reports a CI");
+            // Allow a small absolute epsilon for near-degenerate samples.
+            prop_assert!(
+                (est.average - exact.average).abs() <= conf + 0.05,
+                "estimate {} vs exact {} CI {}", est.average, exact.average, conf
+            );
+        }
+    }
+
+    /// Stratified estimates on random partially-populated GHCs.
+    #[test]
+    fn ghc_estimate_within_confidence_interval(
+        a in 2u32..5,
+        b in 2u32..5,
+        ports in 1u32..3,
+        frac in 0.4f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let max = (a as u64 * b as u64 * ports as u64) as usize;
+        let eps = ((max as f64 * frac) as usize).max(4);
+        let g = GeneralizedHypercube::with_endpoints(&[a, b], ports, eps);
+        let e = g.num_endpoints();
+        if e >= 8 {
+            let exact = distance_stats_exact(&g);
+            let est = distance_estimate(&g, (e / 2).max(4).min(e - 1), seed, 2);
+            let conf = est.confidence_95.expect("sampled run reports a CI");
+            prop_assert!(
+                (est.average - exact.average).abs() <= conf + 0.05,
+                "estimate {} vs exact {} CI {}", est.average, exact.average, conf
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Distance-analysis micro-benchmarks: the exact all-sources sweep, the
+//! stratified sampled estimator, and the frontier-bitset BFS kernel, all at
+//! the default simulation scale (2,048 QFDBs). The paper-scale wall-time
+//! trajectory (2,048 / 16,384 / 131,072 QFDBs) lives in `BENCH_engine.json`
+//! via `engine_snapshot` — the vendored criterion stub cannot write
+//! machine-readable output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exaflow::netgraph::{BfsScratch, PhysCsr};
+use exaflow::prelude::*;
+use std::hint::black_box;
+
+fn exact_sweep(c: &mut Criterion) {
+    let scale = SystemScale::DEFAULT_SIM;
+    let torus = scale.torus_spec().build().unwrap();
+    let tree = scale.fattree_spec().build().unwrap();
+    let mut group = c.benchmark_group("distance_sweep_exact_2048");
+    group.bench_function("torus", |b| {
+        b.iter(|| black_box(distance_sweep(torus.as_ref(), 1)).average)
+    });
+    group.bench_function("fattree", |b| {
+        b.iter(|| black_box(distance_sweep(tree.as_ref(), 1)).average)
+    });
+    group.finish();
+}
+
+fn sampled_estimate(c: &mut Criterion) {
+    let scale = SystemScale::DEFAULT_SIM;
+    let torus = scale.torus_spec().build().unwrap();
+    let seed = spec_seed(&scale.torus_spec());
+    let mut group = c.benchmark_group("distance_estimate_2048_torus");
+    for sources in [64usize, 256] {
+        group.bench_function(&format!("{sources}src"), |b| {
+            b.iter(|| black_box(distance_estimate(torus.as_ref(), sources, seed, 1)).average)
+        });
+    }
+    group.finish();
+}
+
+fn bfs_kernel(c: &mut Criterion) {
+    let scale = SystemScale::DEFAULT_SIM;
+    let torus = scale.torus_spec().build().unwrap();
+    let csr = PhysCsr::new(torus.network());
+    let mut scratch = BfsScratch::new(csr.num_nodes());
+    let mut histogram = vec![0u64; torus.diameter_bound() as usize + 1];
+    c.bench_function("bfs_endpoint_histogram_2048_torus", |b| {
+        b.iter(|| {
+            histogram.iter_mut().for_each(|h| *h = 0);
+            black_box(scratch.endpoint_histogram(&csr, NodeId(0), &mut histogram))
+        })
+    });
+    let seed = spec_seed(&scale.torus_spec());
+    let sources: Vec<NodeId> = stratified_sources(torus.num_endpoints(), 64, seed)
+        .into_iter()
+        .map(NodeId)
+        .collect();
+    c.bench_function("physical_sweep_64src_2048_torus", |b| {
+        b.iter(|| black_box(physical_distance_sweep(torus.as_ref(), &sources, 1)).average)
+    });
+}
+
+criterion_group!(benches, exact_sweep, sampled_estimate, bfs_kernel);
+criterion_main!(benches);

@@ -72,9 +72,30 @@ struct TopoCacheRun {
 }
 
 #[derive(Serialize)]
+struct AnalysisRun {
+    name: String,
+    qfdbs: u64,
+    sources: usize,
+    /// Wall time of the exact all-sources sweep; `null` where it was
+    /// skipped (the 131,072-QFDB sweep is ~1.7e10 pair evaluations).
+    exact_seconds: Option<f64>,
+    sampled_seconds: f64,
+    exact_average: Option<f64>,
+    sampled_average: f64,
+    confidence_95: f64,
+    /// Closed-form torus average distance — the ground truth the sampled
+    /// estimate must bracket.
+    reference_average: f64,
+    within_confidence: bool,
+}
+
+#[derive(Serialize)]
 struct Snapshot {
     solver: SolverChurn,
     engine: Vec<EngineRun>,
+    /// Exact-vs-sampled distance analysis wall times on the torus at
+    /// 2,048 / 16,384 / 131,072 QFDBs (the paper's Table 1 scale).
+    analysis: Vec<AnalysisRun>,
     /// `std::thread::available_parallelism` on the recording box — the
     /// honest context for the thread speedups (on a 1-core box every
     /// `speedup_vs_1` hovers around 1.0 or below; the numbers record
@@ -286,6 +307,43 @@ fn topo_cache_run() -> TopoCacheRun {
     }
 }
 
+/// Exact-vs-sampled distance-analysis wall time on the torus at one
+/// scale. `exact` is skipped above 16,384 QFDBs (quadratic pair count);
+/// the sampled estimator uses the spec-fingerprint seed so the recorded
+/// averages are reproducible bit for bit.
+fn analysis_run(qfdbs: u64, sources: usize, run_exact: bool) -> AnalysisRun {
+    let scale = SystemScale::new(qfdbs).unwrap();
+    let spec = scale.torus_spec();
+    let topo = spec.build().unwrap();
+    let reference_average = exaflow::topo::torus::average_distance_for_dims(&scale.torus_dims());
+
+    let (exact_seconds, exact_average) = if run_exact {
+        let t = Instant::now();
+        let stats = distance_sweep(topo.as_ref(), 1);
+        (Some(t.elapsed().as_secs_f64()), Some(stats.average))
+    } else {
+        (None, None)
+    };
+
+    let seed = spec_seed(&spec);
+    let t = Instant::now();
+    let sampled = distance_estimate(topo.as_ref(), sources, seed, 1);
+    let sampled_seconds = t.elapsed().as_secs_f64();
+    let confidence_95 = sampled.confidence_95.unwrap_or(0.0);
+    AnalysisRun {
+        name: format!("torus_distance_{qfdbs}"),
+        qfdbs,
+        sources,
+        exact_seconds,
+        sampled_seconds,
+        exact_average,
+        sampled_average: sampled.average,
+        confidence_95,
+        reference_average,
+        within_confidence: (sampled.average - reference_average).abs() <= confidence_95 + 1e-9,
+    }
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -420,9 +478,37 @@ fn main() {
         }
     );
 
+    // Distance-analysis trajectory: exact sweep wall time where feasible,
+    // sampled estimator (512 stratified sources) at every scale up to the
+    // paper's 131,072 QFDBs.
+    let analysis: Vec<AnalysisRun> = [(2_048u64, true), (16_384, true), (131_072, false)]
+        .into_iter()
+        .map(|(qfdbs, run_exact)| analysis_run(qfdbs, 512, run_exact))
+        .collect();
+    for run in &analysis {
+        let exact = run
+            .exact_seconds
+            .map_or("skipped".to_string(), |s| format!("{s:.4}s"));
+        eprintln!(
+            "{}: exact {}, sampled {:.4}s, avg {:.4} ± {:.2e} vs {:.4} ({})",
+            run.name,
+            exact,
+            run.sampled_seconds,
+            run.sampled_average,
+            run.confidence_95,
+            run.reference_average,
+            if run.within_confidence {
+                "within confidence"
+            } else {
+                "OUTSIDE CONFIDENCE"
+            }
+        );
+    }
+
     let snapshot = Snapshot {
         solver,
         engine,
+        analysis,
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         threads,
         topo_cache,

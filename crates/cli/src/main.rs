@@ -28,6 +28,16 @@
 //!                                metrics as deterministic JSON; --journal /
 //!                                --resume work as for sweep (a resumed
 //!                                campaign report is bit-identical)
+//! exaflow analyze                paper-scale distance analysis: build the
+//!                                Table 1 topologies at --scale <qfdbs>
+//!                                (default 2048) and sweep their distance
+//!                                distributions; --sources all measures
+//!                                every endpoint (exact, bit-identical at
+//!                                any --threads), --sources <n> measures a
+//!                                stratified deterministic sample seeded
+//!                                from each spec's fingerprint and reports
+//!                                stderr + 95% confidence bounds;
+//!                                --hybrids adds NestTree/NestGHC(t=2,u=4)
 //! exaflow topo <config.json>     build the topology and print its stats
 //! exaflow sample <name>          print a sample experiment config
 //! exaflow help                   this text
@@ -77,6 +87,7 @@ fn main() {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("resilience") => cmd_resilience(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("topo") => cmd_topo(args.get(1).map(String::as_str)),
         Some("sample") => cmd_sample(args.get(1).map(String::as_str)),
         Some("help") | Some("--help") | Some("-h") | None => {
@@ -125,6 +136,15 @@ fn print_help() {
     eprintln!("                                  --journal/--resume as for sweep (resumed");
     eprintln!("                                  reports are bit-identical);");
     eprintln!("                                  exit 3 on non-fault harness errors");
+    eprintln!(
+        "  exaflow analyze [--scale <qfdbs>] [--sources all|<n>] [--threads <n>] [--hybrids]"
+    );
+    eprintln!("                                  distance analysis of the Table 1 topologies at");
+    eprintln!("                                  a system scale (default 2048 QFDBs; the paper's");
+    eprintln!("                                  is 131072); --sources all = exact sweep, a");
+    eprintln!("                                  number = stratified sample with error bounds;");
+    eprintln!("                                  --hybrids adds NestTree/NestGHC(t=2,u=4);");
+    eprintln!("                                  prints a kind-tagged JSON report");
     eprintln!("  exaflow topo <config.json | ->  build the topology of a config, print stats");
     eprintln!("  exaflow sample [name]           print a sample config (or list names)");
 }
@@ -444,6 +464,111 @@ fn cmd_resilience(args: &[String]) -> i32 {
             } else {
                 0
             }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&ErrorOutput { error: e }).unwrap()
+            );
+            1
+        }
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> i32 {
+    let mut scale_qfdbs = SystemScale::DEFAULT_SIM.qfdbs;
+    let mut sources = SourceBudget::All;
+    let mut threads = 0usize; // 0 = auto (EXAFLOW_THREADS or hardware)
+    let mut hybrids = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(q) => scale_qfdbs = q,
+                None => {
+                    eprintln!("error: --scale needs a QFDB count");
+                    return 1;
+                }
+            },
+            "--sources" => match it.next().map(String::as_str) {
+                Some("all") => sources = SourceBudget::All,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => sources = SourceBudget::Sample(n),
+                    _ => {
+                        eprintln!("error: --sources needs 'all' or a positive integer");
+                        return 1;
+                    }
+                },
+                None => {
+                    eprintln!("error: --sources needs 'all' or a positive integer");
+                    return 1;
+                }
+            },
+            "--threads" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("error: --threads needs a positive integer");
+                    return 1;
+                }
+            },
+            "--hybrids" => hybrids = true,
+            other => {
+                eprintln!("error: unexpected argument '{other}'");
+                return 1;
+            }
+        }
+    }
+    let scale = match SystemScale::new(scale_qfdbs) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let specs = match table1_specs(scale, hybrids) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let threads = exaflow::sim::pool::resolve_threads(threads);
+    let started = std::time::Instant::now();
+    match analyze_distances(scale, &specs, sources, threads) {
+        Ok(report) => {
+            eprintln!(
+                "analyze: {} topolog{} at {} QFDBs, {} source(s) each, {} thread(s), {:.2}s",
+                report.rows.len(),
+                if report.rows.len() == 1 { "y" } else { "ies" },
+                scale.qfdbs,
+                match sources {
+                    SourceBudget::All => "all".to_string(),
+                    SourceBudget::Sample(n) => n.to_string(),
+                },
+                threads,
+                started.elapsed().as_secs_f64(),
+            );
+            for row in &report.rows {
+                let ci = row
+                    .stats
+                    .confidence_95
+                    .map(|c| format!(" ± {c:.3}"))
+                    .unwrap_or_default();
+                eprintln!(
+                    "  {:<40} avg {:.2}{ci}, diameter {}{}",
+                    row.topology,
+                    row.stats.average,
+                    row.stats.diameter,
+                    if row.stats.exact {
+                        " (exact)"
+                    } else {
+                        " (sampled)"
+                    }
+                );
+            }
+            println!("{}", serde_json::to_string_pretty(&report).unwrap());
+            0
         }
         Err(e) => {
             eprintln!("error: {e}");

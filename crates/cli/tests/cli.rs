@@ -1155,3 +1155,82 @@ fn campaign_rejects_bad_topo_cache_values() {
         }
     }
 }
+
+#[test]
+fn analyze_emits_kind_tagged_report() {
+    let out = exaflow()
+        .args([
+            "analyze",
+            "--scale",
+            "256",
+            "--sources",
+            "16",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON report");
+    assert_eq!(body["kind"], "distance_analysis");
+    assert_eq!(body["scale_qfdbs"], 256);
+    assert_eq!(body["requested_sources"], 16);
+    let rows = body["rows"].as_array().unwrap();
+    assert_eq!(rows.len(), 2, "torus + fattree by default");
+    for row in rows {
+        assert_eq!(row["stats"]["exact"].as_bool(), Some(false));
+        assert!(row["stats"]["confidence_95"].as_f64().is_some());
+    }
+}
+
+#[test]
+fn analyze_all_sources_is_exact_and_thread_invariant() {
+    let run = |threads: &str| {
+        let out = exaflow()
+            .args([
+                "analyze",
+                "--scale",
+                "64",
+                "--threads",
+                threads,
+                "--hybrids",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        let body: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+        body
+    };
+    let a = run("1");
+    let b = run("4");
+    // The thread count itself is recorded in the report, so compare the
+    // measurement rows for bit-identity rather than the whole document.
+    assert_eq!(
+        a["rows"], b["rows"],
+        "rows must be identical at every thread count"
+    );
+    let rows = a["rows"].as_array().unwrap();
+    assert_eq!(rows.len(), 4, "--hybrids adds NestTree and NestGHC");
+    for row in rows {
+        assert_eq!(row["stats"]["exact"].as_bool(), Some(true));
+        assert!(
+            row["stats"]["stderr"].is_null(),
+            "exact rows carry no stderr"
+        );
+    }
+}
+
+#[test]
+fn analyze_rejects_bad_scale() {
+    let out = exaflow()
+        .args(["analyze", "--scale", "100"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("power of two"));
+}

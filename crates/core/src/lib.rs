@@ -44,6 +44,7 @@
 //! assert!(report.makespan_seconds > 0.0);
 //! ```
 
+pub mod analyze;
 pub mod error;
 pub mod experiment;
 pub mod journal;
@@ -55,6 +56,10 @@ pub mod suite;
 pub mod topocache;
 pub mod topospec;
 
+pub use analyze::{
+    analyze_distances, spec_seed, table1_specs, DistanceAnalysisReport, DistanceAnalysisRow,
+    SourceBudget,
+};
 pub use error::ExperimentError;
 pub use experiment::{
     run_experiment, run_experiment_cached, run_experiment_cached_traced, run_experiment_traced,
@@ -83,6 +88,10 @@ pub use exaflow_workloads as workloads;
 
 /// Everything a typical user needs.
 pub mod prelude {
+    pub use crate::analyze::{
+        analyze_distances, spec_seed, table1_specs, DistanceAnalysisReport, DistanceAnalysisRow,
+        SourceBudget,
+    };
     pub use crate::error::ExperimentError;
     pub use crate::experiment::{
         run_experiment, run_experiment_cached, run_experiment_cached_traced, run_experiment_traced,
@@ -104,7 +113,8 @@ pub mod prelude {
     pub use crate::topocache::{topology_cache_key, TopoCache, TopoCacheStats};
     pub use crate::topospec::TopologySpec;
     pub use exaflow_analysis::{
-        channel_load_survey, distance_stats_exact, distance_survey, DistanceStats, LoadStats,
+        channel_load_survey, distance_estimate, distance_stats_exact, distance_survey,
+        distance_sweep, physical_distance_sweep, stratified_sources, DistanceStats, LoadStats,
     };
     pub use exaflow_netgraph::{LinkId, Network, NodeId};
     pub use exaflow_sim::{

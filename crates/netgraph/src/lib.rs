@@ -29,7 +29,7 @@ pub mod network;
 pub mod path;
 pub mod stats;
 
-pub use bfs::{bfs_distances, bfs_distances_physical, BfsScratch};
+pub use bfs::{bfs_distances, bfs_distances_physical, BfsScratch, PhysCsr};
 pub use builder::NetworkBuilder;
 pub use dot::DotOptions;
 pub use ids::{LinkId, NodeId};

@@ -221,6 +221,11 @@ impl Topology for Dragonfly {
         let entry = self.global_port(gd, gs) / self.h;
         2 + u32::from(rs != exit) + 1 + u32::from(entry != rd)
     }
+
+    fn diameter_bound(&self) -> u32 {
+        // up + local + global + local + down, counting the endpoint links.
+        5
+    }
 }
 
 #[cfg(test)]

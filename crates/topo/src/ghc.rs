@@ -174,6 +174,15 @@ impl GhcTier {
         }
         d
     }
+
+    /// Largest possible port-to-port hop count: both attach links plus one
+    /// router hop per grid dimension.
+    pub fn max_distance_ports(&self) -> u32 {
+        if self.num_ports <= 1 {
+            return 0;
+        }
+        2 + self.shape.ndims() as u32
+    }
 }
 
 /// A standalone generalised hypercube whose ports are compute endpoints.
@@ -331,6 +340,10 @@ impl Topology for GeneralizedHypercube {
 
     fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
         self.tier.distance_ports(src.0 as u64, dst.0 as u64)
+    }
+
+    fn diameter_bound(&self) -> u32 {
+        self.diameter()
     }
 }
 

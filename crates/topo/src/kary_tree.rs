@@ -226,6 +226,16 @@ impl TreeTier {
         }
     }
 
+    /// Largest port-to-port hop count over populated ports. Ports `0` and
+    /// `num_ports - 1` differ in the highest digit any populated pair can
+    /// differ in, so their distance is the populated diameter.
+    pub fn max_distance_ports(&self) -> u32 {
+        if self.num_ports <= 1 {
+            return 0;
+        }
+        self.distance_ports(0, self.num_ports as u64 - 1)
+    }
+
     /// Node id of switch `(level, word)`.
     pub fn switch_node(&self, level: u32, word: u64) -> NodeId {
         NodeId(self.switch_base + (level as u64 * self.words + word) as u32)
@@ -387,6 +397,10 @@ impl Topology for KAryTree {
 
     fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
         self.tier.distance_ports(src.0 as u64, dst.0 as u64)
+    }
+
+    fn diameter_bound(&self) -> u32 {
+        self.diameter()
     }
 }
 

@@ -161,6 +161,19 @@ pub trait Topology: Send + Sync {
         self.route(src, dst, &mut p);
         p
     }
+
+    /// An inclusive upper bound on [`Topology::distance`] over all endpoint
+    /// pairs, so histogram consumers can size buffers once instead of
+    /// growing them per pair.
+    ///
+    /// The default is the loop-free-walk bound (a route never revisits a
+    /// node, so it spans at most `num_nodes` links); generators override it
+    /// with the exact diameter where a closed form exists. Fault wrappers
+    /// keep the default: a BFS detour may legitimately exceed the nominal
+    /// diameter.
+    fn diameter_bound(&self) -> u32 {
+        self.network().num_nodes() as u32
+    }
 }
 
 impl Topology for Box<dyn Topology> {
@@ -193,6 +206,9 @@ impl Topology for Box<dyn Topology> {
     fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
         self.as_ref().distance(src, dst)
     }
+    fn diameter_bound(&self) -> u32 {
+        self.as_ref().diameter_bound()
+    }
 }
 
 impl Topology for std::sync::Arc<dyn Topology> {
@@ -224,6 +240,9 @@ impl Topology for std::sync::Arc<dyn Topology> {
     }
     fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
         self.as_ref().distance(src, dst)
+    }
+    fn diameter_bound(&self) -> u32 {
+        self.as_ref().diameter_bound()
     }
 }
 

@@ -104,6 +104,14 @@ impl Upper {
             Upper::Ghc(g) => g.distance_ports(a, b),
         }
     }
+
+    #[inline]
+    fn max_distance_ports(&self) -> u32 {
+        match self {
+            Upper::Tree(t) => t.max_distance_ports(),
+            Upper::Ghc(g) => g.max_distance_ports(),
+        }
+    }
 }
 
 /// A torus nested into an upper-tier fattree or generalised hypercube.
@@ -356,6 +364,13 @@ impl Topology for Nested {
                 .upper
                 .distance_ports(self.port_of(src), self.port_of(dst))
             + self.hops_to_uplink(dst)
+    }
+
+    fn diameter_bound(&self) -> u32 {
+        // DOR to the uplink node, across the upper tier, DOR to the
+        // destination; each DOR leg is bounded by the subtorus diameter.
+        let sub_diam: u32 = self.sub_shape.dims().iter().map(|&d| d / 2).sum();
+        2 * sub_diam + self.upper.max_distance_ports()
     }
 }
 

@@ -42,6 +42,8 @@ pub struct RouteTable {
     offsets: Vec<u32>,
     /// Concatenated per-pair paths, pair-major (`src·n + dst`).
     links: Vec<LinkId>,
+    /// Longest stored path, i.e. the exact diameter of the tabled topology.
+    max_hops: u32,
 }
 
 impl RouteTable {
@@ -54,12 +56,14 @@ impl RouteTable {
         let mut links: Vec<LinkId> = Vec::new();
         offsets.push(0);
         let mut path = Vec::new();
+        let mut max_hops = 0u32;
         for src in 0..n as u32 {
             for dst in 0..n as u32 {
                 path.clear();
                 if src != dst {
                     topo.route(NodeId(src), NodeId(dst), &mut path);
                 }
+                max_hops = max_hops.max(path.len() as u32);
                 links.extend_from_slice(&path);
                 let end = u32::try_from(links.len())
                     .expect("route table exceeds u32 link capacity; raise the size threshold");
@@ -70,6 +74,7 @@ impl RouteTable {
             num_endpoints: n,
             offsets,
             links,
+            max_hops,
         }
     }
 
@@ -81,6 +86,11 @@ impl RouteTable {
     /// Total number of stored link hops across all pairs.
     pub fn total_hops(&self) -> usize {
         self.links.len()
+    }
+
+    /// Longest stored path — the exact diameter of the tabled topology.
+    pub fn max_hops(&self) -> u32 {
+        self.max_hops
     }
 
     /// The precomputed path for `(src, dst)`; empty when `src == dst`.
@@ -155,6 +165,12 @@ impl<T: Topology> Topology for Tabled<T> {
     }
     fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
         self.table.path(src, dst).len() as u32
+    }
+
+    fn diameter_bound(&self) -> u32 {
+        // The table holds every pair's path, so the bound is exact — a
+        // distance fast path the inner topology may not have.
+        self.table.max_hops()
     }
 }
 

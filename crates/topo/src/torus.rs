@@ -231,6 +231,10 @@ impl Topology for Torus {
     fn distance(&self, src: NodeId, dst: NodeId) -> u32 {
         grid::distance(&self.shape, src.0 as u64, dst.0 as u64)
     }
+
+    fn diameter_bound(&self) -> u32 {
+        self.diameter()
+    }
 }
 
 #[cfg(test)]

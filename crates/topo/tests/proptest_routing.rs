@@ -215,3 +215,72 @@ proptest! {
         }
     }
 }
+
+/// `diameter_bound` must dominate every pairwise distance, and where the
+/// generator has a closed-form diameter the bound is exact (torus, tree,
+/// GHC, and any `Tabled` wrapper).
+#[test]
+fn diameter_bound_dominates_all_pairs() {
+    use exaflow_topo::Tabled;
+
+    let topos: Vec<(Box<dyn Topology>, bool)> = vec![
+        (Box::new(Torus::new(&[4, 4, 2])), true),
+        (Box::new(Torus::new(&[5, 3])), true),
+        (Box::new(KAryTree::new(4, 2)), true),
+        (Box::new(KAryTree::with_endpoints(4, 2, 9)), true),
+        (Box::new(GeneralizedHypercube::new(&[4, 4], 2)), true),
+        (
+            Box::new(Nested::new(
+                UpperTierKind::Fattree,
+                4,
+                2,
+                ConnectionRule::EveryNode,
+            )),
+            false,
+        ),
+        (
+            Box::new(Nested::new(
+                UpperTierKind::GeneralizedHypercube,
+                4,
+                2,
+                ConnectionRule::EighthNodes,
+            )),
+            false,
+        ),
+        (Box::new(Dragonfly::new(3, 2, 2, 1)), false),
+        (Box::new(Jellyfish::new(6, 2, 3, 7)), false),
+        (Box::new(Tabled::new(Torus::new(&[4, 4, 2]))), true),
+        (
+            Box::new(Tabled::new(Nested::new(
+                UpperTierKind::Fattree,
+                4,
+                2,
+                ConnectionRule::EveryNode,
+            ))),
+            true,
+        ),
+    ];
+    for (topo, exact) in &topos {
+        let n = topo.num_endpoints() as u32;
+        let bound = topo.diameter_bound();
+        let mut max = 0u32;
+        for s in (0..n).map(NodeId) {
+            for d in (0..n).map(NodeId) {
+                max = max.max(topo.distance(s, d));
+            }
+        }
+        assert!(
+            max <= bound,
+            "{}: diameter_bound {bound} < observed diameter {max}",
+            topo.name()
+        );
+        if *exact {
+            assert_eq!(
+                bound,
+                max,
+                "{}: bound should equal the exact diameter",
+                topo.name()
+            );
+        }
+    }
+}

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Rate-engine perf snapshot: records the incremental-solver speedup and
+# Rate-engine perf snapshot: records the incremental-solver speedup,
 # end-to-end engine walltimes (fast paths on vs off, equivalence-checked)
-# to a JSON file for the perf trajectory.
+# and the distance-analysis trajectory (exact sweep vs stratified sampled
+# estimator up to the paper's 131,072-QFDB scale) to a JSON file.
 # Usage: scripts/bench_engine.sh [output.json]   (default BENCH_engine.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_engine.json}"
+# Criterion micro-benchmarks for the sweep kernels (human-readable only —
+# the vendored criterion stub has no machine output).
+cargo bench -q -p exaflow-bench --bench distance_sweep
 cargo run --release -q -p exaflow-bench --bin engine_snapshot -- "$out"

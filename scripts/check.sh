@@ -26,6 +26,12 @@ $TIMEOUT 900 cargo test -q -p exaflow-suite --test engine_equiv
 echo "== crash-safety gate: kill-and-resume, torn journals, retry/quarantine"
 $TIMEOUT 900 cargo test -q -p exaflow-cli --test cli campaign
 
+echo "== parallel distance sweep bit-identical with EXAFLOW_THREADS=1"
+EXAFLOW_THREADS=1 $TIMEOUT 900 cargo test -q -p exaflow-suite --test tables table1_parallel_sweep
+
+echo "== parallel distance sweep bit-identical with the default thread count"
+$TIMEOUT 900 cargo test -q -p exaflow-suite --test tables table1_parallel_sweep
+
 echo "== topology-cache differential gate with EXAFLOW_THREADS=1"
 EXAFLOW_THREADS=1 $TIMEOUT 900 cargo test -q -p exaflow-suite --test topo_cache_equiv
 
@@ -41,5 +47,18 @@ $TIMEOUT 300 ./target/release/exaflow run scripts/golden_run_config.json \
   | grep -v '"wall_seconds"' \
   | diff -u scripts/golden_run_expected.json - \
   || { echo "untraced 'exaflow run' output drifted from scripts/golden_run_expected.json"; exit 1; }
+
+echo "== paper-scale analyze: sampled averages bracket Table 1 (40 / 5.94)"
+$TIMEOUT 300 ./target/release/exaflow analyze --scale 131072 --sources 512 2>/dev/null \
+  | python3 -c '
+import json, sys
+rows = json.load(sys.stdin)["rows"]
+torus, fattree = rows[0]["stats"], rows[1]["stats"]
+assert abs(torus["average"] - 40.0) <= torus["confidence_95"] + 0.5, torus
+assert torus["diameter"] == 80, torus
+assert abs(fattree["average"] - 5.94) <= fattree["confidence_95"] + 0.05, fattree
+assert fattree["diameter"] == 6, fattree
+print("torus avg %.4f, fattree avg %.4f: brackets Table 1" % (torus["average"], fattree["average"]))
+' || { echo "paper-scale analyze drifted from Table 1"; exit 1; }
 
 echo "All checks passed."

@@ -85,6 +85,78 @@ fn table1_fattree_reference() {
     );
 }
 
+/// The parallel sweep engine behind Table 1 is *bit-identical* to the
+/// sequential exact path at thread counts {1, 2, 8} across all five
+/// topology families: same histogram vector, same average, same diameter,
+/// same flags. Histogram counts are integers and per-worker partials merge
+/// in fixed order, so no scheduling or summation-order effect can leak in.
+#[test]
+fn table1_parallel_sweep_bit_identical_all_families() {
+    let families: Vec<(&str, TopologySpec)> = vec![
+        (
+            "torus",
+            TopologySpec::Torus {
+                dims: vec![4, 4, 2],
+            },
+        ),
+        (
+            "fattree",
+            TopologySpec::Fattree {
+                k: 4,
+                n: 2,
+                endpoints: None,
+            },
+        ),
+        (
+            "ghc",
+            TopologySpec::Ghc {
+                dims: vec![4, 4],
+                ports_per_router: 2,
+                endpoints: None,
+            },
+        ),
+        (
+            "nest-ghc",
+            TopologySpec::Nested {
+                upper: UpperTierKind::GeneralizedHypercube,
+                subtori: 4,
+                t: 2,
+                u: 4,
+            },
+        ),
+        (
+            "nest-tree",
+            TopologySpec::Nested {
+                upper: UpperTierKind::Fattree,
+                subtori: 4,
+                t: 2,
+                u: 4,
+            },
+        ),
+    ];
+    for (name, spec) in &families {
+        let topo = spec.build().unwrap();
+        let sequential = distance_stats_exact(topo.as_ref());
+        for threads in [1usize, 2, 8] {
+            let parallel = distance_sweep(topo.as_ref(), threads);
+            assert_eq!(
+                parallel, sequential,
+                "{name}: parallel sweep at {threads} thread(s) diverged"
+            );
+            assert_eq!(parallel.histogram, sequential.histogram, "{name}");
+            assert_eq!(
+                parallel.average.to_bits(),
+                sequential.average.to_bits(),
+                "{name}"
+            );
+            assert_eq!(parallel.diameter, sequential.diameter, "{name}");
+        }
+        // The sampled estimator with full coverage rides the same path.
+        let full = distance_estimate(topo.as_ref(), topo.num_endpoints(), 0xE1F, 8);
+        assert_eq!(full, sequential, "{name}: full-coverage estimate diverged");
+    }
+}
+
 /// As-constructed upper-tier switch counts track the paper's closed-form
 /// estimates where the model is meaningful (u = 1, large scale — the
 /// model's fixed 1024-switch spine is calibrated for the paper's scale and
